@@ -1,0 +1,54 @@
+// Ablation — link latency (DESIGN.md §4, decisions 2/5 and the explanation
+// of the Figure 6 magnitude gap): the per-cycle-sync overhead ratio is
+// RTT-bound, so sweeping the emulated one-way link latency shows how the
+// paper's ~1000x arises from their ms-class Ethernet/board path while raw
+// loopback yields a few hundred x.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vhp;
+  using namespace vhp::bench;
+  const bool quick = quick_mode(argc, argv);
+
+  print_header("ABL: overhead ratio vs emulated link latency",
+               "ablation of the transport substitution (explains Fig. 6 "
+               "magnitudes)");
+
+  const u64 n = 20;
+  const std::vector<u64> latencies_us =
+      quick ? std::vector<u64>{0, 200} : std::vector<u64>{0, 50, 200, 1000};
+  const std::vector<u64> t_syncs = {10, 100, 1000};
+
+  // Shared untimed baseline per latency (latency barely matters untimed:
+  // few messages fly).
+  std::printf("%14s %12s", "latency(1-way)", "untimed");
+  for (u64 ts : t_syncs) std::printf("   Tsync=%-5llu", (unsigned long long)ts);
+  std::printf("\n");
+
+  for (u64 lat : latencies_us) {
+    ExperimentParams base;
+    base.n_packets = n;
+    base.t_sync = std::nullopt;
+    base.fixed_cycles = base.traffic_span_cycles();
+    base.link_latency_us = lat;
+    double untimed = 1e9;
+    for (int rep = 0; rep < 3; ++rep) {
+      untimed = std::min(untimed, run_router_experiment(base).wall_seconds);
+    }
+    std::printf("%11lluus %11.4fs", (unsigned long long)lat, untimed);
+    for (u64 ts : t_syncs) {
+      ExperimentParams p = base;
+      p.t_sync = ts;
+      auto r = run_router_experiment(p);
+      std::printf("   %9.0fx ", r.wall_seconds / untimed);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nshape: the tight-sync overhead ratio grows with link "
+              "latency — the paper's 1000x needs a physical link\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Shared harness for the figure-reproduction benchmarks: builds the paper's
+// experimental setup (4-port router + producers/consumers on the simulation
+// kernel, checksum application on the virtual board, TCP loopback link),
+// runs it to completion and reports wall time + accuracy.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "vhp/cosim/session.hpp"
+#include "vhp/router/checksum_app.hpp"
+#include "vhp/router/testbench.hpp"
+
+namespace vhp::bench {
+
+struct ExperimentParams {
+  /// Total packets N (split across the 4 producers).
+  u64 n_packets = 100;
+  /// T_sync in clock cycles; nullopt = untimed baseline (no sync traffic).
+  std::optional<u64> t_sync = 1000;
+  /// Cycles between packets per producer.
+  u64 gap_cycles = 400;
+  std::size_t payload_bytes = 16;
+  std::size_t buffer_depth = 4;
+  /// Hard cap on simulated cycles (loose sync needs a drain tail).
+  u64 max_cycles = 400000;
+  /// When set, simulate EXACTLY this many cycles — no early exit, no
+  /// drain-dependent tail. Wall-time experiments (Figures 5 and 6) need the
+  /// simulated work held constant across T_sync values so only the
+  /// synchronization cost varies; accuracy experiments (Figure 7) instead
+  /// run to completion and leave this unset.
+  std::optional<u64> fixed_cycles;
+  cosim::TransportKind transport = cosim::TransportKind::kTcp;
+  /// Emulated one-way link latency in microseconds on every channel
+  /// (0 = raw loopback); see net/latency.hpp.
+  u64 link_latency_us = 0;
+  u64 seed = 42;
+
+  /// Simulated work matched to the traffic: generation span + a drain tail.
+  [[nodiscard]] u64 traffic_span_cycles() const {
+    return (n_packets / 4) * gap_cycles + 4000;
+  }
+};
+
+struct ExperimentResult {
+  double wall_seconds = 0;
+  u64 cycles_run = 0;
+  u64 emitted = 0;
+  u64 forwarded = 0;
+  u64 dropped_input_full = 0;
+  u64 dropped_bad_checksum = 0;
+  u64 syncs = 0;
+  u64 interrupts = 0;
+  bool drained = false;
+
+  [[nodiscard]] double accuracy() const {
+    return emitted == 0 ? 1.0
+                        : static_cast<double>(forwarded) /
+                              static_cast<double>(emitted);
+  }
+};
+
+/// Runs one co-simulation of the router case study and measures it.
+inline ExperimentResult run_router_experiment(const ExperimentParams& p) {
+  cosim::SessionConfig cfg;
+  cfg.transport = p.transport;
+  if (p.t_sync.has_value()) {
+    cfg.cosim.t_sync = *p.t_sync;
+  } else {
+    cfg.set_untimed();
+  }
+  cfg.link_emulation.latency = std::chrono::microseconds{p.link_latency_us};
+  cfg.board.rtos.cycles_per_tick = 10;
+  cosim::CosimSession session{cfg};
+
+  router::TestbenchConfig tb_cfg;
+  tb_cfg.router.remote_checksum = true;
+  tb_cfg.router.buffer_depth = p.buffer_depth;
+  tb_cfg.packets_per_port = p.n_packets / 4;
+  tb_cfg.gap_cycles = p.gap_cycles;
+  tb_cfg.payload_bytes = p.payload_bytes;
+  tb_cfg.seed = p.seed;
+  router::RouterTestbench tb{session.hw().kernel(), tb_cfg,
+                             &session.hw().registry()};
+  session.hw().watch_interrupt(tb.router().irq(),
+                               board::Board::kDeviceVector);
+
+  router::ChecksumAppConfig app_cfg;
+  app_cfg.cost_base = 20;
+  app_cfg.cost_per_byte = 1;
+  router::ChecksumApp app{session.board(), app_cfg};
+
+  session.start_board();
+
+  const auto start = std::chrono::steady_clock::now();
+  u64 cycles = 0;
+  constexpr u64 kChunk = 200;
+  if (p.fixed_cycles.has_value()) {
+    while (cycles < *p.fixed_cycles) {
+      const u64 step = std::min(kChunk, *p.fixed_cycles - cycles);
+      if (!session.run_cycles(step).ok()) break;
+      cycles += step;
+    }
+  } else {
+    while (cycles < p.max_cycles && !tb.traffic_done()) {
+      if (!session.run_cycles(kChunk).ok()) break;
+      cycles += kChunk;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  session.finish();
+
+  ExperimentResult r;
+  r.wall_seconds = std::chrono::duration<double>(end - start).count();
+  r.cycles_run = cycles;
+  r.emitted = tb.total_emitted();
+  r.forwarded = tb.router().stats().forwarded;
+  r.dropped_input_full = tb.router().stats().dropped_input_full;
+  r.dropped_bad_checksum = tb.router().stats().dropped_bad_checksum;
+  r.syncs = session.hw().stats().syncs;
+  r.interrupts = session.hw().stats().interrupts_sent;
+  r.drained = tb.traffic_done();
+  return r;
+}
+
+/// True when invoked with --quick (CI-friendly reduced sweeps).
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace vhp::bench

@@ -1,0 +1,71 @@
+// Figure 5 — "Co-Simulation Overhead": overall wall time as a function of
+// the number of exchanged packets N, one curve per T_sync.
+//
+// Paper's observations to reproduce:
+//   (i)  time grows linearly with N for every T_sync;
+//   (ii) the ratio between two curves is roughly constant in N (the paper
+//        quotes 241s/32s ~ 8 between T_sync=1000 and 10000 at N=100).
+//
+// Setup: the simulated work is held exactly proportional to N
+// (fixed_cycles = N/4 producers x gap cycles), and the CLOCK round trip is
+// delayed by an emulated 5 ms one way — the order of a real exchange over the
+// paper's 100 Mbit Ethernet + eCos freeze/thaw path. Raw-loopback numbers
+// (no padding) are what Figure 6 reports.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vhp;
+  using namespace vhp::bench;
+  const bool quick = quick_mode(argc, argv);
+
+  print_header("FIG5: co-simulation wall time vs exchanged packets N",
+               "Figure 5 (Section 6.1)");
+  std::printf("(emulated link: 5 ms one way, modeling the paper's "
+              "Ethernet/board path)\n\n");
+
+  const std::vector<u64> t_syncs = {1000, 3000, 10000};
+  const std::vector<u64> ns = quick ? std::vector<u64>{20, 40}
+                                    : std::vector<u64>{20, 40, 60, 80, 100};
+  const u64 gap = 2000;  // cycles between packets per producer
+
+  std::printf("%8s", "N");
+  for (u64 ts : t_syncs) std::printf("  Tsync=%-6llu", (unsigned long long)ts);
+  std::printf("   t(1000)/t(10000)\n");
+
+  std::vector<std::vector<double>> table(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    std::printf("%8llu", (unsigned long long)ns[i]);
+    for (u64 ts : t_syncs) {
+      ExperimentParams p;
+      p.n_packets = ns[i];
+      p.t_sync = ts;
+      p.gap_cycles = gap;
+      p.fixed_cycles = (ns[i] / 4) * gap;  // exactly proportional to N
+      p.link_latency_us = 5000;
+      auto r = run_router_experiment(p);
+      table[i].push_back(r.wall_seconds);
+      std::printf("  %10.4fs ", r.wall_seconds);
+      std::fflush(stdout);
+    }
+    std::printf("  %8.2f\n", table[i][0] / table[i][2]);
+  }
+
+  // Linearity check: time(N)/N should be roughly constant per curve.
+  std::printf("\nlinearity (time per packet, ms):\n%8s", "N");
+  for (u64 ts : t_syncs) std::printf("  Tsync=%-6llu", (unsigned long long)ts);
+  std::printf("\n");
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    std::printf("%8llu", (unsigned long long)ns[i]);
+    for (std::size_t j = 0; j < t_syncs.size(); ++j) {
+      std::printf("  %10.3f  ",
+                  1e3 * table[i][j] / static_cast<double>(ns[i]));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: linear in N; constant ratio between curves "
+              "(paper: ~8x between Tsync=1000 and 10000)\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Micro-benchmarks of the RV32IM interpreter: raw instructions per second
+// of the firmware-level timing model.
+#include <benchmark/benchmark.h>
+
+#include "vhp/iss/assemble.hpp"
+#include "vhp/iss/cpu.hpp"
+
+namespace {
+
+using namespace vhp;
+using namespace vhp::iss;
+
+void BM_AluLoop(benchmark::State& state) {
+  // addi/bne loop: the interpreter's hot path.
+  Asm a;
+  const auto loop = a.make_label();
+  a.li(1, 1000000000);  // effectively endless for the bench window
+  a.bind(loop);
+  a.addi(1, 1, -1);
+  a.bne(1, 0, loop);
+  a.ecall();
+  sim::Memory ram{"ram"};
+  a.load_into(ram, 0x1000);
+  MemoryBus bus{ram};
+  Cpu cpu{bus};
+  cpu.set_pc(0x1000);
+  cpu.step();  // li pair
+  cpu.step();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu.step());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AluLoop);
+
+void BM_MemoryCopyLoop(benchmark::State& state) {
+  // lw/sw copy loop: load/store path through the sparse memory.
+  Asm a;
+  const auto loop = a.make_label();
+  a.li(1, 0x4000);      // src
+  a.li(2, 0x8000);      // dst
+  a.li(3, 0x7fffffff);  // huge count
+  a.bind(loop);
+  a.lw(4, 1, 0);
+  a.sw(4, 2, 0);
+  a.addi(1, 1, 4);
+  a.addi(2, 2, 4);
+  a.addi(3, 3, -1);
+  a.bne(3, 0, loop);
+  a.ecall();
+  sim::Memory ram{"ram"};
+  a.load_into(ram, 0x1000);
+  MemoryBus bus{ram};
+  Cpu cpu{bus};
+  cpu.set_pc(0x1000);
+  for (int i = 0; i < 6; ++i) cpu.step();  // li prologue
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu.step());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryCopyLoop);
+
+void BM_MulDivMix(benchmark::State& state) {
+  Asm a;
+  const auto loop = a.make_label();
+  a.li(1, 123456789);
+  a.li(2, 97);
+  a.bind(loop);
+  a.mul(3, 1, 2);
+  a.divu(4, 1, 2);
+  a.remu(5, 1, 2);
+  a.j(loop);
+  sim::Memory ram{"ram"};
+  a.load_into(ram, 0x1000);
+  MemoryBus bus{ram};
+  Cpu cpu{bus};
+  cpu.set_pc(0x1000);
+  for (int i = 0; i < 4; ++i) cpu.step();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu.step());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MulDivMix);
+
+}  // namespace
+
+BENCHMARK_MAIN();

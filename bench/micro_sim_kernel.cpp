@@ -1,0 +1,133 @@
+// Micro-benchmarks of the discrete-event simulation kernel (substrate
+// characterization + ablation data for DESIGN.md §4).
+#include <benchmark/benchmark.h>
+
+#include "vhp/common/types.hpp"
+#include "vhp/sim/fifo.hpp"
+#include "vhp/sim/kernel.hpp"
+#include "vhp/sim/module.hpp"
+
+namespace {
+
+using namespace vhp;
+
+struct Bench : sim::Module {
+  explicit Bench(sim::Kernel& k) : Module(k, "bench") {}
+  using Module::make_bool_signal;
+  using Module::make_signal;
+  using Module::method;
+  using Module::thread;
+};
+
+void BM_TimedEventDispatch(benchmark::State& state) {
+  sim::Kernel k;
+  Bench tb{k};
+  sim::Event ev{k, "ev"};
+  u64 count = 0;
+  tb.method("m", [&] {
+      ++count;
+      ev.notify_at(1);
+    })
+      .sensitive(ev);
+  for (auto _ : state) {
+    k.run(1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(count));
+}
+BENCHMARK(BM_TimedEventDispatch);
+
+void BM_DeltaCycleWithSignal(benchmark::State& state) {
+  sim::Kernel k;
+  Bench tb{k};
+  auto& sig = tb.make_signal<u32>("s", 0);
+  u32 v = 0;
+  for (auto _ : state) {
+    sig.write(++v);
+    k.run(1);
+    benchmark::DoNotOptimize(sig.read());
+  }
+}
+BENCHMARK(BM_DeltaCycleWithSignal);
+
+void BM_ClockedMethod(benchmark::State& state) {
+  // One posedge-sensitive method, cost per simulated clock cycle.
+  sim::Kernel k;
+  sim::Clock clk{k, "clk", 2};
+  Bench tb{k};
+  auto& count = tb.make_signal<u64>("c", 0);
+  tb.method("ff", [&] { count.write(count.read() + 1); })
+      .sensitive(clk.posedge_event())
+      .dont_initialize();
+  for (auto _ : state) {
+    k.run(2);  // one full clock cycle
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(count.read()));
+}
+BENCHMARK(BM_ClockedMethod);
+
+void BM_ClockedFanout(benchmark::State& state) {
+  // N methods on the same clock: scheduler fan-out cost.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Kernel k;
+  sim::Clock clk{k, "clk", 2};
+  Bench tb{k};
+  u64 sink = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tb.method("m" + std::to_string(i), [&] { ++sink; })
+        .sensitive(clk.posedge_event())
+        .dont_initialize();
+  }
+  for (auto _ : state) {
+    k.run(2);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(sink));
+}
+BENCHMARK(BM_ClockedFanout)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_ThreadProcessWaitResume(benchmark::State& state) {
+  // Fiber suspend/resume through the kernel: the SC_THREAD context switch.
+  sim::Kernel k;
+  Bench tb{k};
+  u64 wakes = 0;
+  tb.thread("t", [&] {
+    for (;;) {
+      sim::wait(1);
+      ++wakes;
+    }
+  });
+  for (auto _ : state) {
+    k.run(1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(wakes));
+}
+BENCHMARK(BM_ThreadProcessWaitResume);
+
+void BM_FifoThroughput(benchmark::State& state) {
+  sim::Kernel k;
+  Bench tb{k};
+  sim::Fifo<u64> fifo{k, "f", 64};
+  u64 consumed = 0;
+  tb.thread("producer", [&] {
+    u64 i = 0;
+    for (;;) fifo.write(i++);
+  });
+  tb.thread("consumer", [&] {
+    for (;;) {
+      benchmark::DoNotOptimize(fifo.read());
+      ++consumed;
+      // Advance time once per item: a pure delta ping-pong would livelock
+      // the timestep (as it would in SystemC).
+      sim::wait(1);
+    }
+  });
+  for (auto _ : state) {
+    k.run(1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(consumed));
+}
+BENCHMARK(BM_FifoThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

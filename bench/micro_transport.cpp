@@ -1,0 +1,111 @@
+// Micro-benchmarks of the transport layer: the CLOCK_PORT round trip is the
+// unit cost that Figures 5 and 6 integrate, so its latency on both
+// transports is the key ablation number (DESIGN.md §4, decision 2 and 5).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "vhp/net/channel.hpp"
+#include "vhp/net/inproc.hpp"
+#include "vhp/net/message.hpp"
+#include "vhp/net/tcp.hpp"
+
+namespace {
+
+using namespace vhp;
+using namespace vhp::net;
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  const Message msg = ClockTick{123456, 1000};
+  for (auto _ : state) {
+    Bytes frame = encode(msg);
+    auto decoded = decode(frame);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_DataWriteEncodeDecode(benchmark::State& state) {
+  const Message msg = DataWrite{0x10, Bytes(static_cast<std::size_t>(
+                                           state.range(0)), 0x5a)};
+  for (auto _ : state) {
+    Bytes frame = encode(msg);
+    auto decoded = decode(frame);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DataWriteEncodeDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Echo peer thread: bounces every frame back until the channel closes.
+std::thread start_echo(Channel& ch) {
+  return std::thread([&ch] {
+    for (;;) {
+      auto frame = ch.recv();
+      if (!frame.ok()) return;
+      if (!ch.send(frame.value()).ok()) return;
+    }
+  });
+}
+
+void BM_InProcRoundTrip(benchmark::State& state) {
+  auto [a, b] = make_inproc_channel_pair();
+  std::thread echo = start_echo(*b);
+  const Bytes frame = encode(Message{ClockTick{1, 1000}});
+  for (auto _ : state) {
+    (void)a->send(frame);
+    auto back = a->recv();
+    benchmark::DoNotOptimize(back);
+  }
+  a->close();
+  b->close();
+  echo.join();
+}
+BENCHMARK(BM_InProcRoundTrip);
+
+void BM_TcpLoopbackRoundTrip(benchmark::State& state) {
+  TcpLinkListener listener;
+  const auto ports = listener.ports();
+  Result<CosimLink> client{Status{StatusCode::kInternal, "unset"}};
+  std::thread connector{[&] { client = connect_tcp_link(ports); }};
+  auto server = listener.accept_link();
+  connector.join();
+  std::thread echo = start_echo(*client.value().clock);
+  const Bytes frame = encode(Message{ClockTick{1, 1000}});
+  auto& ch = *server.value().clock;
+  for (auto _ : state) {
+    (void)ch.send(frame);
+    auto back = ch.recv();
+    benchmark::DoNotOptimize(back);
+  }
+  server.value().close_all();
+  client.value().close_all();
+  echo.join();
+}
+BENCHMARK(BM_TcpLoopbackRoundTrip);
+
+void BM_TcpLoopbackDataBandwidth(benchmark::State& state) {
+  TcpLinkListener listener;
+  const auto ports = listener.ports();
+  Result<CosimLink> client{Status{StatusCode::kInternal, "unset"}};
+  std::thread connector{[&] { client = connect_tcp_link(ports); }};
+  auto server = listener.accept_link();
+  connector.join();
+  std::thread echo = start_echo(*client.value().data);
+  const Bytes frame(static_cast<std::size_t>(state.range(0)), 0xa5);
+  auto& ch = *server.value().data;
+  for (auto _ : state) {
+    (void)ch.send(frame);
+    auto back = ch.recv();
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 2);
+  server.value().close_all();
+  client.value().close_all();
+  echo.join();
+}
+BENCHMARK(BM_TcpLoopbackDataBandwidth)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Section 6 closing remark — choosing T_sync: "because of the opposite
+// dependencies of the overhead and of the accuracy on T_sync, there is a
+// value of T_sync which maximizes the product (accuracy x overhead)":
+// we sweep T_sync once, compute accuracy and speedup (inverse overhead)
+// from the same runs, and report the optimum of their product.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vhp;
+  using namespace vhp::bench;
+  const bool quick = quick_mode(argc, argv);
+
+  print_header("OPT: optimal T_sync maximizing accuracy x speed",
+               "Section 6, closing remark (uses Figures 6 and 7 together)");
+
+  const u64 n = 40;
+  const std::vector<u64> t_syncs =
+      quick ? std::vector<u64>{10, 1000, 10000}
+            : std::vector<u64>{10, 36, 100, 360, 1000, 2000, 5000, 10000,
+                               20000};
+
+  // Reference: the slowest (tightest) configuration in the sweep.
+  double slowest = 0;
+  struct Row {
+    u64 t_sync;
+    double seconds;
+    double accuracy;
+  };
+  std::vector<Row> rows;
+  for (u64 ts : t_syncs) {
+    ExperimentParams p;
+    p.n_packets = n;
+    p.t_sync = ts;
+    p.gap_cycles = 8000;
+    p.buffer_depth = 4;
+    p.max_cycles = 1500000;
+    auto r = run_router_experiment(p);
+    rows.push_back({ts, r.wall_seconds, r.accuracy()});
+    slowest = std::max(slowest, r.wall_seconds);
+  }
+
+  std::printf("%10s %12s %10s %10s %16s\n", "Tsync", "time", "speedup",
+              "accuracy", "accuracy*speedup");
+  double best_score = -1;
+  u64 best_ts = 0;
+  for (const auto& row : rows) {
+    const double speedup = slowest / row.seconds;
+    const double score = row.accuracy * speedup;
+    if (score > best_score) {
+      best_score = score;
+      best_ts = row.t_sync;
+    }
+    std::printf("%10llu %11.4fs %9.1fx %9.1f%% %16.1f\n",
+                (unsigned long long)row.t_sync, row.seconds, speedup,
+                100.0 * row.accuracy, score);
+  }
+  std::printf("\noptimal T_sync in this sweep: %llu (score %.1f)\n",
+              (unsigned long long)best_ts, best_score);
+  std::printf("paper shape: interior optimum — overhead favours large "
+              "T_sync, accuracy favours small\n");
+  return 0;
+}

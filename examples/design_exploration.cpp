@@ -1,0 +1,102 @@
+// Design exploration (the paper's Section 6 closing remark, as a designer
+// would actually run it): sweep the synchronization interval T_sync, watch
+// accuracy fall and speed rise, and pick the best trade-off for the router
+// device before committing it to the FPGA.
+//
+// Usage: design_exploration [n_packets]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "vhp/cosim/session.hpp"
+#include "vhp/router/checksum_app.hpp"
+#include "vhp/router/testbench.hpp"
+
+using namespace vhp;
+
+namespace {
+
+struct Sample {
+  u64 t_sync;
+  double seconds;
+  double accuracy;
+};
+
+Sample explore(u64 t_sync, u64 n_packets) {
+  cosim::SessionConfig cfg;
+  cfg.transport = cosim::TransportKind::kTcp;
+  cfg.cosim.t_sync = t_sync;
+  cfg.board.rtos.cycles_per_tick = 10;
+  cosim::CosimSession session{cfg};
+
+  router::TestbenchConfig tb_cfg;
+  tb_cfg.router.remote_checksum = true;
+  tb_cfg.router.buffer_depth = 4;
+  tb_cfg.packets_per_port = n_packets / 4;
+  tb_cfg.gap_cycles = 4000;
+  router::RouterTestbench tb{session.hw().kernel(), tb_cfg,
+                             &session.hw().registry()};
+  session.hw().watch_interrupt(tb.router().irq(),
+                               board::Board::kDeviceVector);
+  router::ChecksumAppConfig app_cfg;
+  app_cfg.cost_base = 20;
+  app_cfg.cost_per_byte = 1;
+  router::ChecksumApp app{session.board(), app_cfg};
+
+  session.start_board();
+  const auto start = std::chrono::steady_clock::now();
+  u64 cycles = 0;
+  while (cycles < 1500000 && !tb.traffic_done()) {
+    if (!session.run_cycles(200).ok()) break;
+    cycles += 200;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  session.finish();
+  const double acc =
+      tb.total_emitted() == 0
+          ? 1.0
+          : static_cast<double>(tb.router().stats().forwarded) /
+                static_cast<double>(tb.total_emitted());
+  return {t_sync, secs, acc};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u64 n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40;
+  std::printf("design exploration over T_sync (N=%llu packets)\n\n",
+              (unsigned long long)n);
+  std::printf("%10s %12s %10s %10s  %s\n", "Tsync", "wall time", "speedup",
+              "accuracy", "verdict");
+
+  const std::vector<u64> sweep{10, 100, 500, 1000, 2000, 5000, 10000};
+  std::vector<Sample> samples;
+  samples.reserve(sweep.size());
+  for (u64 ts : sweep) samples.push_back(explore(ts, n));
+
+  double slowest = 0;
+  for (const auto& s : samples) slowest = std::max(slowest, s.seconds);
+  double best_score = -1;
+  u64 best_ts = 0;
+  for (const auto& s : samples) {
+    const double speedup = slowest / s.seconds;
+    const double score = s.accuracy * speedup;
+    const bool better = score > best_score;
+    if (better) {
+      best_score = score;
+      best_ts = s.t_sync;
+    }
+    std::printf("%10llu %11.4fs %9.1fx %9.1f%%  %s\n",
+                (unsigned long long)s.t_sync, s.seconds, speedup,
+                100.0 * s.accuracy,
+                s.accuracy >= 0.999 ? "full accuracy" : "losing packets");
+  }
+  std::printf("\nchosen synchronization interval: T_sync=%llu\n",
+              (unsigned long long)best_ts);
+  std::printf("(maximizes accuracy x speedup = %.1f; see bench/opt_tsync "
+              "for the full methodology)\n", best_score);
+  return 0;
+}

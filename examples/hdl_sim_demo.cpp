@@ -1,0 +1,51 @@
+// Standalone HDL simulation demo: the router model simulated entirely in
+// the discrete-event kernel (checksum verified locally, no board), with a
+// VCD waveform dumped for inspection — the "pure hardware simulator" half
+// of the methodology.
+#include <cstdio>
+
+#include "vhp/router/testbench.hpp"
+#include "vhp/sim/trace.hpp"
+
+using namespace vhp;
+
+int main() {
+  sim::Kernel kernel;
+
+  router::TestbenchConfig cfg;
+  cfg.router.remote_checksum = false;  // local checksum: no board needed
+  cfg.router.buffer_depth = 4;
+  cfg.packets_per_port = 25;
+  cfg.gap_cycles = 50;
+  cfg.payload_bytes = 32;
+  cfg.corrupt_probability = 0.2;
+  router::RouterTestbench tb{kernel, cfg};
+
+  // Waveform: the router's interrupt line and a clock, viewable with any
+  // VCD viewer (gtkwave router_sim.vcd).
+  sim::Clock clk{kernel, "clk", cfg.router.clock_period};
+  sim::VcdWriter vcd{kernel, "router_sim.vcd"};
+  vcd.trace(clk, "clk");
+  vcd.trace(tb.router().irq(), "router_irq");
+
+  u64 steps = 0;
+  while (steps < 1000000 && !tb.traffic_done()) {
+    kernel.run(1000);
+    steps += 1000;
+  }
+  vcd.close();
+
+  const auto& s = tb.router().stats();
+  std::printf("simulated %llu time units (%llu deltas)\n",
+              (unsigned long long)kernel.now(),
+              (unsigned long long)kernel.delta_count());
+  std::printf("emitted    %6llu\n", (unsigned long long)tb.total_emitted());
+  std::printf("forwarded  %6llu\n", (unsigned long long)s.forwarded);
+  std::printf("bad cksum  %6llu\n",
+              (unsigned long long)s.dropped_bad_checksum);
+  std::printf("buffer drop%6llu\n",
+              (unsigned long long)s.dropped_input_full);
+  std::printf("received   %6llu\n", (unsigned long long)tb.total_received());
+  std::printf("waveform written to router_sim.vcd\n");
+  return tb.traffic_done() ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+// Motion-control scenario — the paper's application domain (factory
+// automation on the Ultimodule SCM2x0).
+//
+// Device under design: a motor-drive block for the FPGA — PWM output stage
+// plus quadrature-encoder counter — modeled in the HDL kernel together with
+// a simple first-order motor plant. The control software (a PI speed loop)
+// runs on the board under the RTOS, reading the encoder and writing the
+// duty cycle through the driver at a fixed control period.
+//
+// Because the co-simulation is timed, the loop's sampling period in board
+// ticks and the plant's evolution in clock cycles stay aligned — the whole
+// point of the virtual tick. The example prints the speed trajectory and
+// the settling behaviour a designer would use to size the real hardware.
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "vhp/cosim/session.hpp"
+#include "vhp/sim/module.hpp"
+
+using namespace vhp;
+
+namespace {
+
+constexpr u32 kRegDuty = 0x00;     // board -> HW: PWM duty, 0..1000
+constexpr u32 kRegEncoder = 0x10;  // HW -> board: encoder count
+
+/// Motor drive + plant. Plant model (per clock cycle, fixed point x1000):
+///   speed += (duty * kGain - speed * kFriction) >> kShift
+/// The encoder accumulates speed; the board reads it through the driver.
+struct MotorDrive : sim::Module {
+  cosim::DriverIn<u32> duty;
+  cosim::DriverOut<u32> encoder;
+
+  i64 speed_milli = 0;  // counts per 1000 cycles
+  i64 encoder_acc_milli = 0;
+  u32 encoder_count = 0;
+
+  MotorDrive(cosim::CosimKernel& hw)
+      : Module(hw.kernel(), "motor"),
+        duty(hw.kernel(), hw.registry(), "motor.duty", kRegDuty),
+        encoder(hw.registry(), "motor.encoder", kRegEncoder) {
+    method("plant",
+           [this] {
+             const i64 d = duty.read();
+             // First-order lag: gain 40, friction 8 (per mille per cycle).
+             speed_milli += (d * 40 - speed_milli * 8) / 1000;
+             encoder_acc_milli += speed_milli;
+             encoder_count += static_cast<u32>(encoder_acc_milli / 1000);
+             encoder_acc_milli %= 1000;
+             encoder.write(encoder_count);
+           })
+        .sensitive(hw.clock().posedge_event())
+        .dont_initialize();
+  }
+};
+
+}  // namespace
+
+int main() {
+  cosim::SessionConfig cfg;
+  cfg.transport = cosim::TransportKind::kTcp;
+  cfg.cosim.t_sync = 100;
+  cfg.board.rtos.cycles_per_tick = 10;  // 1 board tick = 10 clock cycles
+  cosim::CosimSession session{cfg};
+
+  MotorDrive motor{session.hw()};
+
+  auto& board = session.board();
+  constexpr i64 kTarget = 4000;     // speed setpoint (milli-counts/cycle)
+  constexpr u64 kPeriodTicks = 20;  // control period: 200 clock cycles
+  constexpr int kSteps = 40;
+
+  std::vector<i64> trajectory;
+  std::atomic<bool> finished{false};
+
+  board.spawn_app("pi_controller", 8, [&] {
+    u32 prev_count = 0;
+    i64 integral = 0;
+    u32 current_duty = 0;
+    for (int step = 0; step < kSteps; ++step) {
+      board.kernel().delay(SwTicks{kPeriodTicks});
+      auto enc = board.dev_read(kRegEncoder, 4);
+      if (!enc.ok()) break;
+      u32 count = 0;
+      (void)cosim::DriverCodec<u32>::decode(enc.value(), count);
+      // Speed estimate over the period: counts per 1000 cycles.
+      const i64 speed =
+          static_cast<i64>(count - prev_count) * 1000 /
+          static_cast<i64>(kPeriodTicks * 10);
+      prev_count = count;
+      trajectory.push_back(speed);
+
+      // PI law (fixed point): u = Kp*e/256 + Ki*integral/4096, clamped.
+      const i64 error = kTarget - speed;
+      integral += error;
+      i64 u = (error * 24) / 256 + (integral * 160) / 4096;
+      u = std::clamp<i64>(u, 0, 1000);
+      if (static_cast<u32>(u) != current_duty) {
+        current_duty = static_cast<u32>(u);
+        (void)board.dev_write(kRegDuty,
+                              cosim::DriverCodec<u32>::encode(current_duty));
+      }
+      board.kernel().consume(80);  // control-law computation cost
+    }
+    finished = true;
+  });
+
+  session.start_board();
+  for (int chunk = 0; chunk < 6000 && !finished; ++chunk) {
+    if (!session.run_cycles(100).ok()) break;
+  }
+  session.finish();
+
+  std::printf("PI speed loop: target %lld, %d control periods of %llu "
+              "ticks\n\n", (long long)kTarget, kSteps,
+              (unsigned long long)kPeriodTicks);
+  std::printf("%6s %10s  %s\n", "step", "speed", "");
+  i64 settled_at = -1;
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    const i64 s = trajectory[i];
+    const int bar = static_cast<int>(std::clamp<i64>(s / 80, 0, 70));
+    std::printf("%6zu %10lld  %.*s\n", i, (long long)s, bar,
+                "######################################################"
+                "################");
+    if (settled_at < 0 && s > kTarget * 95 / 100 && s < kTarget * 105 / 100) {
+      settled_at = static_cast<i64>(i);
+    }
+  }
+  if (settled_at >= 0) {
+    std::printf("\nsettled to +/-5%% of target after %lld control periods "
+                "(%lld clock cycles)\n",
+                (long long)settled_at,
+                (long long)settled_at * (i64)kPeriodTicks * 10);
+  } else {
+    std::printf("\ndid not settle within the run\n");
+  }
+  const bool converged =
+      !trajectory.empty() &&
+      trajectory.back() > kTarget * 90 / 100 &&
+      trajectory.back() < kTarget * 110 / 100;
+  return converged ? 0 : 1;
+}

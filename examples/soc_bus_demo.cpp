@@ -1,0 +1,113 @@
+// SoC interconnect demo (standalone simulation): two bus masters — a CPU
+// bridge doing register programming and a DMA engine doing bulk transfers —
+// contend for the shared on-chip bus in front of RAM and a peripheral
+// register file. Shows the Bus substrate's address decoding, wait states
+// and arbitration, and prints the contention statistics a designer would
+// use to size the interconnect.
+#include <cstdio>
+
+#include "vhp/common/rng.hpp"
+#include "vhp/sim/bus.hpp"
+#include "vhp/sim/kernel.hpp"
+#include "vhp/sim/module.hpp"
+
+using namespace vhp;
+
+namespace {
+
+constexpr u32 kRamBase = 0x0000'0000;
+constexpr u32 kRegBase = 0x4000'0000;
+
+struct Soc : sim::Module {
+  sim::Bus bus;
+  sim::Memory ram{"soc.ram"};
+  sim::MemoryBusTarget ram_target{ram, /*wait_states=*/1};
+  sim::RegisterBusTarget regs;
+  u64 cpu_ops = 0;
+  u64 dma_words = 0;
+  bool cpu_done = false;
+  bool dma_done = false;
+
+  explicit Soc(sim::Kernel& k)
+      : Module(k, "soc"),
+        bus(k, "soc.bus", {.clock_period = 2, .transfer_cycles = 2}),
+        regs(16, [this](u32 index, u32 value) {
+          if (index == 0 && value == 1) dma_kick = true;  // CTRL register
+        }) {
+    bus.map(kRamBase, 0x0010'0000, ram_target);
+    bus.map(kRegBase, 0x40, regs);
+
+    // Master 1: the CPU bridge — programs the peripheral, then does
+    // scattered word accesses (cache-miss-ish traffic).
+    thread("cpu", [this] {
+      (void)bus.write(kRegBase + 0x4, 0x1000);   // DMA src
+      (void)bus.write(kRegBase + 0x8, 0x8000);   // DMA dst
+      (void)bus.write(kRegBase + 0xc, 256);      // DMA words
+      (void)bus.write(kRegBase + 0x0, 1);        // CTRL: start
+      Rng rng{11};
+      for (int i = 0; i < 200; ++i) {
+        const u32 addr = static_cast<u32>(4 * rng.below(0x400));
+        if (rng.chance(0.5)) {
+          (void)bus.write(addr, static_cast<u32>(rng.next()));
+        } else {
+          (void)bus.read(addr);
+        }
+        ++cpu_ops;
+        sim::wait(rng.below(8));  // think time between accesses
+      }
+      cpu_done = true;
+    });
+
+    // Master 2: the DMA engine — waits for CTRL, then streams words,
+    // hammering the bus back to back.
+    thread("dma", [this] {
+      while (!dma_kick) sim::wait(2);
+      const u32 src = regs.peek(1);
+      const u32 dst = regs.peek(2);
+      const u32 n = regs.peek(3);
+      for (u32 i = 0; i < n; ++i) {
+        auto word = bus.read(src + 4 * i);
+        if (!word.ok()) break;
+        (void)bus.write(dst + 4 * i, word.value());
+        ++dma_words;
+      }
+      (void)bus.write(kRegBase + 0x0, 2);  // CTRL: done
+      dma_done = true;
+    });
+  }
+
+  bool dma_kick = false;
+};
+
+}  // namespace
+
+int main() {
+  sim::Kernel kernel;
+  Soc soc{kernel};
+
+  // Seed the DMA source region so the copy is observable.
+  for (u32 i = 0; i < 256; ++i) {
+    soc.ram.write_u32(0x1000 + 4 * i, 0xbeef0000u + i);
+  }
+
+  kernel.run_to_completion();
+
+  bool copy_ok = true;
+  for (u32 i = 0; i < 256; ++i) {
+    copy_ok &= soc.ram.read_u32(0x8000 + 4 * i) == 0xbeef0000u + i;
+  }
+
+  const auto& s = soc.bus.stats();
+  std::printf("SoC bus demo: simulated %llu time units\n",
+              (unsigned long long)kernel.now());
+  std::printf("  cpu ops        %8llu\n", (unsigned long long)soc.cpu_ops);
+  std::printf("  dma words      %8llu (copy %s)\n",
+              (unsigned long long)soc.dma_words, copy_ok ? "ok" : "WRONG");
+  std::printf("  bus reads      %8llu\n", (unsigned long long)s.reads);
+  std::printf("  bus writes     %8llu\n", (unsigned long long)s.writes);
+  std::printf("  contended      %8llu transactions (%.1f%%)\n",
+              (unsigned long long)s.contended,
+              100.0 * static_cast<double>(s.contended) /
+                  static_cast<double>(s.reads + s.writes));
+  return (copy_ok && soc.cpu_done && soc.dma_done) ? 0 : 1;
+}

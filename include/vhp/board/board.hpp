@@ -1,0 +1,144 @@
+// The virtual board: a host thread's worth of CPU running the RTOS, wired
+// to the simulation kernel through the three-channel link. Implements the
+// board-side half of the paper:
+//   * the remote-device driver (devtab entry "/dev/sysc") whose read/write
+//     travel over DATA_PORT,
+//   * the *channel thread* listening on INT_PORT and dispatching interrupts
+//     into the RTOS ISR/DSR machinery,
+//   * the *systemc thread* listening on CLOCK_PORT, granting execution
+//     budget on CLOCK_TICK and shutting the board down on SHUTDOWN,
+//   * the freeze callback that reports the board tick (TIME_ACK) whenever
+//     the OS enters the idle state.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "vhp/board/channel_waiter.hpp"
+#include "vhp/common/log.hpp"
+#include "vhp/net/channel.hpp"
+#include "vhp/rtos/device.hpp"
+#include "vhp/rtos/kernel.hpp"
+#include "vhp/rtos/sync.hpp"
+
+namespace vhp::board {
+
+struct BoardConfig {
+  rtos::KernelConfig rtos{};
+  /// Board CPU cycles granted per simulated HW clock cycle in a CLOCK_TICK.
+  u64 cycles_per_sim_cycle = 1;
+  /// Modeled driver overhead charged to the calling thread, in CPU cycles.
+  u64 dev_read_cost = 0;
+  u64 dev_write_cost = 0;
+  /// Priority of the communication threads (above applications).
+  int comm_priority = 2;
+  /// Untimed mode: no budget, no freeze/ack; the board free-runs
+  /// (the Figure 6 baseline).
+  bool free_running = false;
+};
+
+class Board {
+ public:
+  /// Interrupt vector of the simulated device (must match the HDL side).
+  static constexpr u32 kDeviceVector = 16;
+  /// Devtab name of the remote simulated device.
+  static constexpr const char* kDeviceName = "/dev/sysc";
+
+  Board(BoardConfig config, net::CosimLink link);
+  ~Board();
+
+  Board(const Board&) = delete;
+  Board& operator=(const Board&) = delete;
+
+  [[nodiscard]] rtos::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] rtos::DeviceTable& devtab() { return devtab_; }
+  [[nodiscard]] const BoardConfig& config() const { return config_; }
+
+  /// ----- remote device access (driver internals; applications normally
+  /// go through devtab().lookup(kDeviceName)) -----
+
+  /// Reads `nbytes` at device address `addr`: sends DATA_READ_REQ and
+  /// blocks the calling thread (in virtual time too) until the response.
+  Result<Bytes> dev_read(u32 addr, u32 nbytes);
+
+  /// Writes to device address `addr` (fire-and-forget, like a posted bus
+  /// write).
+  Status dev_write(u32 addr, std::span<const u8> data);
+
+  /// Registers the DSR-level handler for the simulated device's default
+  /// interrupt vector (kDeviceVector). Runs at scheduler-safe points;
+  /// typically wakes an application thread.
+  void attach_device_dsr(std::function<void(u32 vector)> dsr);
+
+  /// Multi-device prototyping: registers a DSR for an additional interrupt
+  /// vector (each simulated device gets its own line; wire the HDL side
+  /// with CosimKernel::watch_interrupt(line, vector)).
+  void attach_interrupt(u32 vector, std::function<void(u32 vector)> dsr);
+
+  /// Spawns an application thread (priority below the comm threads).
+  rtos::Thread& spawn_app(std::string name, int priority,
+                          rtos::Thread::Entry entry,
+                          std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  /// Boots the comm threads and runs the RTOS until SHUTDOWN (or
+  /// kernel().shutdown()). Call on the board's host thread.
+  void run();
+
+  struct Stats {
+    u64 interrupts_received = 0;
+    u64 clock_ticks_received = 0;
+    u64 acks_sent = 0;
+    u64 dev_reads = 0;
+    u64 dev_writes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void systemc_thread_body();
+  void channel_thread_body();
+  void idle_poll();
+
+  BoardConfig config_;
+  net::CosimLink link_;
+  Logger log_{"board"};
+
+  rtos::Kernel kernel_;
+  rtos::DeviceTable devtab_;
+
+  std::unique_ptr<ChannelWaiter> data_rx_;
+  std::unique_ptr<ChannelWaiter> int_rx_;
+  std::unique_ptr<ChannelWaiter> clock_rx_;
+  IdlePacer pacer_;
+
+  rtos::Mutex data_mutex_{kernel_};  // serializes DATA request/response
+  std::function<void(u32)> device_dsr_;
+
+  bool booted_ = false;
+  Stats stats_;
+};
+
+/// Convenience: runs a Board on its own host thread; joins on destruction.
+class BoardHost {
+ public:
+  BoardHost(BoardConfig config, net::CosimLink link);
+  ~BoardHost();
+
+  BoardHost(const BoardHost&) = delete;
+  BoardHost& operator=(const BoardHost&) = delete;
+
+  /// Valid until start() is called; configure apps/DSRs here.
+  [[nodiscard]] Board& board() { return board_; }
+
+  /// Launches the board host thread (runs Board::run()).
+  void start();
+  /// Blocks until the board shut down.
+  void join();
+
+ private:
+  Board board_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace vhp::board

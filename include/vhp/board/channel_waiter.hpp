@@ -1,0 +1,61 @@
+// RTOS-blocking reception over a net::Channel.
+//
+// On the real SCM2x0 board, socket reads block the calling eCos thread while
+// the rest of the OS keeps running. Our net::Channel::recv would block the
+// whole virtual board (one host thread), so comm threads instead block on an
+// RTOS semaphore that the idle thread posts after polling the channel — the
+// exact division of labour the paper describes for its idle state: the idle
+// thread keeps the socket connection alive, the channel/systemc threads do
+// the protocol work.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "vhp/common/bytes.hpp"
+#include "vhp/net/channel.hpp"
+#include "vhp/rtos/sync.hpp"
+
+namespace vhp::board {
+
+class ChannelWaiter {
+ public:
+  ChannelWaiter(rtos::Kernel& kernel, net::Channel& channel, std::string name);
+
+  /// Drains whatever the channel has pending into the local queue, waking
+  /// blocked receivers. Host-non-blocking. Returns true if anything arrived
+  /// (frames or a close).
+  bool poll();
+
+  /// RTOS-blocking receive: the calling thread sleeps on the semaphore
+  /// until poll() (from the idle thread or this call itself) delivers a
+  /// frame. Returns nullopt once the channel is closed and drained.
+  std::optional<Bytes> recv();
+
+  /// Non-blocking variant.
+  std::optional<Bytes> try_get();
+
+  [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  net::Channel& channel_;
+  std::string name_;
+  std::deque<Bytes> pending_;
+  rtos::Semaphore available_;
+  bool closed_ = false;
+};
+
+/// Escalating host pause for the idle polling loop: spin first (sync
+/// round trips are latency-critical), then yield, then sleep.
+class IdlePacer {
+ public:
+  void pause();
+  void reset() { empty_polls_ = 0; }
+
+ private:
+  u64 empty_polls_ = 0;
+};
+
+}  // namespace vhp::board

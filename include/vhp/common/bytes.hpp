@@ -1,0 +1,132 @@
+// Little-endian byte serialization used by the wire protocol (DESIGN.md §6).
+//
+// All multi-byte integers on the co-simulation link are little-endian,
+// matching the SCM2x0's RISC core convention; the codec is explicit so the
+// wire format does not depend on host endianness.
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vhp/common/status.hpp"
+#include "vhp/common/types.hpp"
+
+namespace vhp {
+
+using Bytes = std::vector<u8>;
+
+/// Appends little-endian encodings to a growing byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8v(u8 v) { out_.push_back(v); }
+  void u16v(u16 v) { append(&v, sizeof v); }
+  void u32v(u32 v) { append(&v, sizeof v); }
+  void u64v(u64 v) { append(&v, sizeof v); }
+  void bytes(std::span<const u8> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  /// Length-prefixed (u32) byte string.
+  void sized_bytes(std::span<const u8> data) {
+    u32v(static_cast<u32>(data.size()));
+    bytes(data);
+  }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    // Serialize explicitly little-endian regardless of host order.
+    // push_back loop rather than insert: n is at most 8 here, and GCC 12's
+    // -O2 stringop-overflow checker false-positives on the inlined
+    // vector::insert range path.
+    const auto* src = static_cast<const u8*>(p);
+    out_.reserve(out_.size() + n);
+    if constexpr (std::endian::native == std::endian::little) {
+      for (std::size_t i = 0; i < n; ++i) out_.push_back(src[i]);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out_.push_back(src[n - 1 - i]);
+    }
+  }
+
+  Bytes& out_;
+};
+
+/// Reads little-endian encodings from a byte span with bounds checking.
+/// Any overrun puts the reader into a failed state; callers check ok() once
+/// after parsing a whole message (monadic style keeps call sites flat).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const u8> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+
+  u8 u8v() {
+    u8 v = 0;
+    extract(&v, sizeof v);
+    return v;
+  }
+  u16 u16v() {
+    u16 v = 0;
+    extract(&v, sizeof v);
+    return v;
+  }
+  u32 u32v() {
+    u32 v = 0;
+    extract(&v, sizeof v);
+    return v;
+  }
+  u64 u64v() {
+    u64 v = 0;
+    extract(&v, sizeof v);
+    return v;
+  }
+  Bytes bytes(std::size_t n) {
+    if (!check(n)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  /// Reads a u32 length prefix then that many bytes.
+  Bytes sized_bytes() {
+    const u32 n = u32v();
+    return bytes(n);
+  }
+
+ private:
+  bool check(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  void extract(void* p, std::size_t n) {
+    if (!check(n)) {
+      std::memset(p, 0, n);
+      return;
+    }
+    auto* dst = static_cast<u8*>(p);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(dst, data_.data() + pos_, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) dst[i] = data_[pos_ + n - 1 - i];
+    }
+    pos_ += n;
+  }
+
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Hex dump ("de ad be ef") of at most `max_bytes` bytes; for log messages.
+[[nodiscard]] std::string hex_dump(std::span<const u8> data,
+                                   std::size_t max_bytes = 32);
+
+}  // namespace vhp

@@ -1,0 +1,27 @@
+// Checksum algorithms used by the router case study.
+//
+// The paper's packets carry a "16 bit field used for error detection"; the
+// board-side C application recomputes it. We implement the classic Internet
+// checksum (RFC 1071 one's-complement sum) as that 16-bit field, plus CRC-32
+// (IEEE 802.3) used by the tests as an independent integrity oracle.
+#pragma once
+
+#include <span>
+
+#include "vhp/common/types.hpp"
+
+namespace vhp {
+
+/// RFC 1071 Internet checksum over `data`. Returns the one's-complement of
+/// the one's-complement sum; verifying code checks that a buffer whose
+/// checksum field was filled in sums to 0xFFFF (i.e. checksum of the whole
+/// buffer including the field equals 0).
+[[nodiscard]] u16 internet_checksum(std::span<const u8> data);
+
+/// True iff `data` (which embeds its checksum field) verifies.
+[[nodiscard]] bool internet_checksum_ok(std::span<const u8> data);
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF).
+[[nodiscard]] u32 crc32(std::span<const u8> data);
+
+}  // namespace vhp

@@ -1,0 +1,63 @@
+// Cooperative user-level execution contexts (fibers).
+//
+// Two subsystems need suspendable call stacks: the simulation kernel's
+// thread processes (SystemC SC_THREADs suspend inside arbitrarily nested
+// calls via wait()) and the RTOS threads of the virtual board (an eCos-like
+// scheduler switches between thread stacks). Both are built on this class.
+//
+// Implementation: POSIX ucontext with an mmap'ed stack whose lowest page is
+// PROT_NONE, so a stack overflow faults deterministically instead of
+// corrupting a neighbouring fiber's stack.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+#include <ucontext.h>
+
+namespace vhp {
+
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  static constexpr std::size_t kDefaultStackBytes = 128 * 1024;
+
+  /// The fiber does not run until the first resume().
+  explicit Fiber(Fn fn, std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs the fiber until it yields or its function returns. Must be called
+  /// from outside the fiber (typically a scheduler). If the fiber's function
+  /// exited with an exception, it is rethrown here, in the resumer.
+  void resume();
+
+  /// Suspends the currently running fiber, returning control to its last
+  /// resumer. Must be called from inside a fiber.
+  static void yield_to_resumer();
+
+  /// True once the fiber's function has returned (or thrown).
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  /// The fiber currently executing on this OS thread, or nullptr.
+  static Fiber* current();
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  ucontext_t ctx_{};
+  ucontext_t resumer_{};
+  Fn fn_;
+  std::exception_ptr exception_;
+  void* mapping_ = nullptr;
+  std::size_t mapping_size_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace vhp

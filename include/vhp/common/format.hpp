@@ -1,0 +1,47 @@
+// Minimal "{}"-placeholder string formatting.
+//
+// The toolchain this project targets (GCC 12) ships no <format>, so logging
+// and error messages use this small substitute: each "{}" in the format
+// string is replaced by the next argument streamed through operator<<.
+// Surplus arguments are appended at the end; surplus placeholders stay
+// verbatim. Good enough for diagnostics; not a general formatter.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vhp {
+
+namespace format_detail {
+
+inline void format_rest(std::ostringstream& out, std::string_view& fmt) {
+  out << fmt;
+  fmt = {};
+}
+
+template <typename Arg, typename... Rest>
+void format_rest(std::ostringstream& out, std::string_view& fmt,
+                 const Arg& arg, const Rest&... rest) {
+  const auto pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    out << fmt << ' ' << arg;
+    fmt = {};
+  } else {
+    out << fmt.substr(0, pos) << arg;
+    fmt.remove_prefix(pos + 2);
+  }
+  format_rest(out, fmt, rest...);
+}
+
+}  // namespace format_detail
+
+template <typename... Args>
+[[nodiscard]] std::string strformat(std::string_view fmt,
+                                    const Args&... args) {
+  std::ostringstream out;
+  format_detail::format_rest(out, fmt, args...);
+  return out.str();
+}
+
+}  // namespace vhp

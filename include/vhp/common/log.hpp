@@ -1,0 +1,67 @@
+// Thread-safe leveled logger.
+//
+// Both "sides" of the co-simulation (kernel thread and board thread) log
+// through this sink; each record carries a component tag so a merged log
+// reads like the paper's Figure 2 timeline. Level comes from the VHP_LOG
+// environment variable (error|warn|info|debug|trace), default warn.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "vhp/common/format.hpp"
+
+namespace vhp {
+
+enum class LogLevel { kError = 0, kWarn, kInfo, kDebug, kTrace };
+
+namespace log_detail {
+/// Current threshold; records above it are discarded before formatting.
+LogLevel threshold();
+void set_threshold(LogLevel level);
+void emit(LogLevel level, std::string_view component, std::string_view text);
+}  // namespace log_detail
+
+/// A named log channel, one per subsystem ("sim", "rtos", "cosim", ...).
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  template <typename... Args>
+  void error(std::string_view fmt, Args&&... args) const {
+    logf(LogLevel::kError, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(std::string_view fmt, Args&&... args) const {
+    logf(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(std::string_view fmt, Args&&... args) const {
+    logf(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(std::string_view fmt, Args&&... args) const {
+    logf(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void trace(std::string_view fmt, Args&&... args) const {
+    logf(LogLevel::kTrace, fmt, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level <= log_detail::threshold();
+  }
+
+ private:
+  template <typename... Args>
+  void logf(LogLevel level, std::string_view fmt,
+            Args&&... args) const {
+    if (!enabled(level)) return;
+    log_detail::emit(level, component_,
+                     strformat(fmt, args...));
+  }
+
+  std::string component_;
+};
+
+}  // namespace vhp

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random numbers (xoshiro256**).
+//
+// Workload generators (the paper's packet producer generates "packets with a
+// random destination address") must be reproducible across runs and across
+// the in-proc / TCP transports, so everything randomized in this repository
+// draws from this generator with an explicit seed — never from std::rand or
+// a default-seeded std::mt19937.
+#pragma once
+
+#include <array>
+#include <cassert>
+
+#include "vhp/common/types.hpp"
+
+namespace vhp {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded through SplitMix64 so that
+/// any 64-bit seed (including 0) yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    u64 x = seed;
+    for (auto& s : state_) s = splitmix64(x);
+  }
+
+  /// Uniform over the full 64-bit range.
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  u64 below(u64 bound) {
+    assert(bound > 0);
+    // Rejection sampling on the top bits keeps the distribution exact.
+    const u64 threshold = (~bound + 1) % bound;  // (2^64 - bound) mod bound
+    for (;;) {
+      const u64 r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static u64 splitmix64(u64& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace vhp

@@ -1,0 +1,90 @@
+// Fundamental strong types shared by every vhp module.
+//
+// The co-simulation protocol deals with three distinct notions of time
+// (paper, Section 3):
+//   * HW clock cycles of the simulated hardware model  -> Cycles
+//   * HW timer ticks of the board's hardware timer     -> HwTicks
+//   * SW ticks of the RTOS (timer ISR granularity)     -> SwTicks
+// Mixing them up is the classic bug in timed co-simulation code, so each is
+// a distinct arithmetic wrapper rather than a bare u64.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace vhp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// CRTP arithmetic wrapper: a u64 count that refuses to mix with other
+/// counts. Supports the operations a monotonically advancing time counter
+/// needs (add/subtract deltas, compare, scale).
+template <typename Tag>
+class Count {
+ public:
+  constexpr Count() = default;
+  constexpr explicit Count(u64 v) : value_(v) {}
+
+  [[nodiscard]] constexpr u64 value() const { return value_; }
+
+  constexpr auto operator<=>(const Count&) const = default;
+
+  constexpr Count& operator+=(Count d) {
+    value_ += d.value_;
+    return *this;
+  }
+  constexpr Count& operator-=(Count d) {
+    value_ -= d.value_;
+    return *this;
+  }
+  constexpr Count& operator++() {
+    ++value_;
+    return *this;
+  }
+  friend constexpr Count operator+(Count a, Count b) {
+    return Count{a.value_ + b.value_};
+  }
+  friend constexpr Count operator-(Count a, Count b) {
+    return Count{a.value_ - b.value_};
+  }
+  friend constexpr Count operator*(Count a, u64 k) {
+    return Count{a.value_ * k};
+  }
+  friend constexpr Count operator/(Count a, u64 k) {
+    return Count{a.value_ / k};
+  }
+  friend std::ostream& operator<<(std::ostream& os, Count c) {
+    return os << c.value_;
+  }
+
+ private:
+  u64 value_ = 0;
+};
+
+struct CyclesTag {};
+struct HwTicksTag {};
+struct SwTicksTag {};
+
+/// Simulated HW clock cycles (simulation kernel time base).
+using Cycles = Count<CyclesTag>;
+/// Pulses of the board's hardware timer.
+using HwTicks = Count<HwTicksTag>;
+/// RTOS software ticks (timer-ISR granularity; scheduling time base).
+using SwTicks = Count<SwTicksTag>;
+
+inline constexpr Cycles operator""_cyc(unsigned long long v) {
+  return Cycles{static_cast<u64>(v)};
+}
+inline constexpr SwTicks operator""_swt(unsigned long long v) {
+  return SwTicks{static_cast<u64>(v)};
+}
+
+}  // namespace vhp

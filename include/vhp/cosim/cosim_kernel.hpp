@@ -1,0 +1,117 @@
+// The modified simulation engine: the paper's driver_simulate() (Section 5.2).
+//
+// Wraps a sim::Kernel and drives it cycle by cycle while servicing the three
+// co-simulation channels:
+//   * before each clock cycle, the DATA port is drained (driver writes are
+//     delivered to DriverIn ports, read requests answered from DriverOut);
+//   * after each cycle, watched interrupt lines are edge-sampled and
+//     INT_RAISE packets emitted;
+//   * every T_sync cycles, a CLOCK_TICK packet grants the board T_sync
+//     cycles of execution and the kernel blocks until the TIME_ACK — while
+//     still answering DATA traffic, so a board thread blocked mid-quantum on
+//     a device read can never deadlock the session.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "vhp/common/log.hpp"
+#include "vhp/common/status.hpp"
+#include "vhp/cosim/driver_port.hpp"
+#include "vhp/net/channel.hpp"
+#include "vhp/sim/kernel.hpp"
+#include "vhp/sim/signal.hpp"
+
+namespace vhp::cosim {
+
+struct CosimConfig {
+  /// Synchronization interval in HW clock cycles (the paper's T_sync).
+  u64 t_sync = 1000;
+  /// Simulation time units per clock cycle (posedge every period).
+  sim::SimTime clock_period = 2;
+  /// When true, run timed: exchange CLOCK_TICK/TIME_ACK. When false the
+  /// simulation free-runs (the paper's untimed baseline, the denominator of
+  /// Figure 6's overhead ratio) — the board then runs unsynchronized.
+  bool timed = true;
+  /// Send SHUTDOWN on finish() so the board's run() returns.
+  bool shutdown_on_finish = true;
+  /// Poll the DATA port every this many cycles (1 = the paper's
+  /// driver_simulate, which checks for data each simulation cycle).
+  /// Larger values amortize the non-blocking socket check — the dominant
+  /// per-cycle cost of an otherwise idle co-simulation — at the price of
+  /// coarser driver-write delivery (an ablation knob; see
+  /// bench/abl_data_poll).
+  u64 data_poll_interval = 1;
+};
+
+class CosimKernel {
+ public:
+  CosimKernel(net::CosimLink link, CosimConfig config);
+  ~CosimKernel();
+
+  CosimKernel(const CosimKernel&) = delete;
+  CosimKernel& operator=(const CosimKernel&) = delete;
+
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] sim::Clock& clock() { return clock_; }
+  [[nodiscard]] DriverRegistry& registry() { return registry_; }
+  [[nodiscard]] const CosimConfig& config() const { return config_; }
+
+  /// Registers `line` as a device interrupt source: a rising edge sampled
+  /// at a cycle boundary sends INT_RAISE(vector) to the board.
+  void watch_interrupt(sim::BoolSignal& line, u32 vector);
+
+  /// Waits for the board's initial "frozen" TIME_ACK (timed mode only).
+  /// Must be called once before the first run_cycles().
+  Status handshake(std::optional<std::chrono::milliseconds> timeout =
+                       std::chrono::milliseconds{10000});
+
+  /// The paper's driver_simulate(): runs `cycles` HW clock cycles of the
+  /// model with data service, interrupt propagation and timing sync.
+  Status run_cycles(u64 cycles);
+
+  /// Current cycle count (completed cycles).
+  [[nodiscard]] u64 cycle() const { return cycle_; }
+
+  /// Ends the co-simulation (sends SHUTDOWN if configured).
+  void finish();
+
+  struct Stats {
+    u64 syncs = 0;
+    u64 data_writes = 0;
+    u64 data_reads = 0;
+    u64 interrupts_sent = 0;
+    u64 acks_received = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct IntWatch {
+    sim::BoolSignal* line;
+    u32 vector;
+    bool prev = false;
+  };
+
+  /// Drains pending DATA frames; returns first hard error.
+  Status service_data_port();
+  Status handle_data_msg(const net::Message& msg);
+  /// Sends CLOCK_TICK and blocks for TIME_ACK, servicing DATA meanwhile.
+  Status sync_with_board();
+  Status sample_interrupts();
+
+  net::CosimLink link_;
+  CosimConfig config_;
+  Logger log_{"cosim"};
+
+  sim::Kernel kernel_;
+  sim::Clock clock_;
+  DriverRegistry registry_;
+  std::vector<IntWatch> watches_;
+
+  u64 cycle_ = 0;
+  bool handshaken_ = false;
+  bool finished_ = false;
+  Stats stats_;
+};
+
+}  // namespace vhp::cosim

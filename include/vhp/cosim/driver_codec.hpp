@@ -1,0 +1,59 @@
+// Value <-> wire-bytes codec for driver port payloads.
+//
+// Driver ports carry typed values between the board's device driver and the
+// HDL model; this trait defines their serialized form. Integral types are
+// little-endian fixed width; Bytes pass through verbatim (the router's
+// packets travel as Bytes and are packed by the router module itself).
+#pragma once
+
+#include <concepts>
+
+#include "vhp/common/bytes.hpp"
+
+namespace vhp::cosim {
+
+template <typename T>
+struct DriverCodec;
+
+template <std::unsigned_integral T>
+struct DriverCodec<T> {
+  static Bytes encode(const T& value) {
+    Bytes out;
+    ByteWriter w{out};
+    if constexpr (sizeof(T) == 1) {
+      w.u8v(value);
+    } else if constexpr (sizeof(T) == 2) {
+      w.u16v(value);
+    } else if constexpr (sizeof(T) == 4) {
+      w.u32v(value);
+    } else {
+      w.u64v(value);
+    }
+    return out;
+  }
+
+  static bool decode(std::span<const u8> data, T& out) {
+    ByteReader r{data};
+    if constexpr (sizeof(T) == 1) {
+      out = r.u8v();
+    } else if constexpr (sizeof(T) == 2) {
+      out = r.u16v();
+    } else if constexpr (sizeof(T) == 4) {
+      out = r.u32v();
+    } else {
+      out = static_cast<T>(r.u64v());
+    }
+    return r.ok() && r.at_end();
+  }
+};
+
+template <>
+struct DriverCodec<Bytes> {
+  static Bytes encode(const Bytes& value) { return value; }
+  static bool decode(std::span<const u8> data, Bytes& out) {
+    out.assign(data.begin(), data.end());
+    return true;
+  }
+};
+
+}  // namespace vhp::cosim

@@ -1,0 +1,127 @@
+// Driver ports: the paper's driver_in / driver_out classes (Section 5.2).
+//
+// A DriverIn<T> is a device-addressable input of the HDL model: a DATA_WRITE
+// frame from the board materializes as a value change plus a notification of
+// the port's data event — any process made sensitive to that event is a
+// *driver process* in the paper's terminology. A DriverOut<T> is a
+// device-addressable output: a DATA_READ_REQ from the board is answered with
+// the port's current value.
+//
+// Unlike a Signal, a DriverIn fires on EVERY delivered write (two equal
+// packets back-to-back are two deliveries, not one), matching "a driver
+// process will be triggered when a new data is present on a driver_in port".
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "vhp/common/bytes.hpp"
+#include "vhp/common/status.hpp"
+#include "vhp/cosim/driver_codec.hpp"
+#include "vhp/sim/event.hpp"
+#include "vhp/sim/kernel.hpp"
+
+namespace vhp::cosim {
+
+/// Address-indexed table of driver endpoints; owned by the CosimKernel,
+/// consulted when DATA frames arrive.
+class DriverRegistry {
+ public:
+  using WriteHandler = std::function<Status(std::span<const u8>)>;
+  using ReadHandler = std::function<Bytes()>;
+
+  void register_write(u32 address, WriteHandler handler);
+  void register_read(u32 address, ReadHandler handler);
+  void unregister(u32 address);
+
+  /// Dispatches an incoming DATA_WRITE. Unknown addresses are an error
+  /// (the board wrote to a hole in the device's address map).
+  Status deliver_write(u32 address, std::span<const u8> data);
+
+  /// Serves a DATA_READ_REQ. max_bytes truncates oversized responses.
+  Result<Bytes> serve_read(u32 address, u32 max_bytes);
+
+  [[nodiscard]] u64 writes_delivered() const { return writes_; }
+  [[nodiscard]] u64 reads_served() const { return reads_; }
+
+ private:
+  struct Entry {
+    WriteHandler write;
+    ReadHandler read;
+  };
+  std::map<u32, Entry> endpoints_;
+  u64 writes_ = 0;
+  u64 reads_ = 0;
+};
+
+template <typename T>
+class DriverIn {
+ public:
+  DriverIn(sim::Kernel& kernel, DriverRegistry& registry, std::string name,
+           u32 address)
+      : name_(std::move(name)), address_(address), registry_(registry),
+        data_event_(kernel, name_ + ".data") {
+    registry_.register_write(address_, [this](std::span<const u8> raw) {
+      T value{};
+      if (!DriverCodec<T>::decode(raw, value)) {
+        return Status{StatusCode::kInvalidArgument,
+                      "undecodable driver write to " + name_};
+      }
+      value_ = std::move(value);
+      ++write_count_;
+      data_event_.notify_delta();
+      return Status::Ok();
+    });
+  }
+
+  ~DriverIn() { registry_.unregister(address_); }
+
+  DriverIn(const DriverIn&) = delete;
+  DriverIn& operator=(const DriverIn&) = delete;
+
+  [[nodiscard]] const T& read() const { return value_; }
+  [[nodiscard]] u32 address() const { return address_; }
+  [[nodiscard]] u64 write_count() const { return write_count_; }
+
+  /// Sensitivity target for driver processes.
+  [[nodiscard]] sim::Event& data_written_event() { return data_event_; }
+
+ private:
+  std::string name_;
+  u32 address_;
+  DriverRegistry& registry_;
+  sim::Event data_event_;
+  T value_{};
+  u64 write_count_ = 0;
+};
+
+template <typename T>
+class DriverOut {
+ public:
+  DriverOut(DriverRegistry& registry, std::string name, u32 address)
+      : name_(std::move(name)), address_(address), registry_(registry) {
+    registry_.register_read(
+        address_, [this] { return DriverCodec<T>::encode(value_); });
+  }
+
+  ~DriverOut() { registry_.unregister(address_); }
+
+  DriverOut(const DriverOut&) = delete;
+  DriverOut& operator=(const DriverOut&) = delete;
+
+  /// HDL-model side: publish a new value for the board to read.
+  void write(T value) { value_ = std::move(value); }
+
+  [[nodiscard]] const T& read() const { return value_; }
+  [[nodiscard]] u32 address() const { return address_; }
+
+ private:
+  std::string name_;
+  u32 address_;
+  DriverRegistry& registry_;
+  T value_{};
+};
+
+}  // namespace vhp::cosim

@@ -1,0 +1,69 @@
+// One-stop wiring of a complete co-simulation: the HDL kernel on the calling
+// thread, the virtual board on its own host thread, connected by either the
+// in-process transport (deterministic unit tests) or real TCP over loopback
+// (the paper's medium; used by the benchmarks).
+#pragma once
+
+#include <memory>
+
+#include "vhp/board/board.hpp"
+#include "vhp/cosim/cosim_kernel.hpp"
+#include "vhp/net/latency.hpp"
+
+namespace vhp::cosim {
+
+enum class TransportKind { kInProc, kTcp };
+
+struct SessionConfig {
+  CosimConfig cosim{};
+  board::BoardConfig board{};
+  TransportKind transport = TransportKind::kInProc;
+  /// Optional emulated link latency on every channel (see net/latency.hpp).
+  /// The paper's physical medium (Ethernet + eCos IP stack) is much slower
+  /// than loopback; absolute-overhead experiments emulate that here.
+  net::LinkEmulationConfig link_emulation{};
+
+  /// Convenience: configure the matching untimed baseline (no sync traffic,
+  /// free-running board) used as Figure 6's denominator.
+  void set_untimed() {
+    cosim.timed = false;
+    board.free_running = true;
+  }
+};
+
+class CosimSession {
+ public:
+  explicit CosimSession(SessionConfig config);
+  ~CosimSession();
+
+  CosimSession(const CosimSession&) = delete;
+  CosimSession& operator=(const CosimSession&) = delete;
+
+  /// The simulation side. Build the HDL model against hw().kernel() and
+  /// hw().registry() before calling start_board()/run_cycles().
+  ///
+  /// Lifetime rule (as in SystemC): everything built against the kernel —
+  /// modules, signals, events, driver ports — must be destroyed BEFORE the
+  /// session, i.e. declared after it.
+  [[nodiscard]] CosimKernel& hw() { return *hw_; }
+
+  /// The board side. Configure applications and DSRs before start_board().
+  [[nodiscard]] board::Board& board() { return host_->board(); }
+
+  /// Boots the board host thread.
+  void start_board();
+
+  /// Runs the co-simulation for `cycles` HW clock cycles.
+  Status run_cycles(u64 cycles) { return hw_->run_cycles(cycles); }
+
+  /// Sends SHUTDOWN and joins the board thread.
+  void finish();
+
+ private:
+  std::unique_ptr<CosimKernel> hw_;
+  std::unique_ptr<board::BoardHost> host_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace vhp::cosim

@@ -1,0 +1,55 @@
+// Board-side UART driver: the eCos-style serial driver the application
+// links against while the UART itself is still an HDL model on the
+// simulation kernel. TX throttles on the device's FIFO-full status bit;
+// RX is interrupt-driven (the device pulses its line per received byte,
+// the DSR posts, the reader thread drains RXDATA).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "vhp/board/board.hpp"
+#include "vhp/devices/uart.hpp"
+#include "vhp/rtos/sync.hpp"
+
+namespace vhp::devices {
+
+struct UartDriverConfig {
+  u32 base = 0x0;
+  u32 irq_vector = board::Board::kDeviceVector;
+  /// Modeled cost of one register access, in board CPU cycles.
+  u64 reg_access_cost = 5;
+  /// Ticks to sleep between TX-full polls.
+  u64 tx_poll_ticks = 1;
+};
+
+class UartDriver {
+ public:
+  /// Installs the RX interrupt handler. Construct before Board::run().
+  explicit UartDriver(board::Board& board, UartDriverConfig config = {});
+
+  UartDriver(const UartDriver&) = delete;
+  UartDriver& operator=(const UartDriver&) = delete;
+
+  /// Transmits every byte, sleeping while the device FIFO is full.
+  Status write_text(std::string_view text);
+
+  /// Blocks until one received byte is available.
+  Result<u8> read_byte();
+
+  /// Reads up to (and including) '\n' or `max_len` bytes.
+  Result<std::string> read_line(std::size_t max_len = 256);
+
+  /// Reprograms the baud divisor.
+  Status set_divisor(u32 divisor);
+
+ private:
+  Result<u32> read_reg(u32 offset);
+  Status write_reg(u32 offset, u32 value);
+
+  board::Board& board_;
+  UartDriverConfig config_;
+  rtos::Semaphore rx_avail_;
+};
+
+}  // namespace vhp::devices

@@ -1,0 +1,171 @@
+// Tiny RV32IM instruction encoder + two-pass assembler.
+//
+// Test programs and example firmware are written as C++ calls
+// (`a.addi(1, 0, 42); a.beq(1, 2, loop);`) rather than a text assembly
+// parser — the encoding is exactly RISC-V, labels resolve on build(), and
+// the resulting word vector loads straight into the ISS bus memory.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "vhp/common/types.hpp"
+#include "vhp/sim/memory.hpp"
+
+namespace vhp::iss {
+
+/// Raw RV32 instruction encoders (register numbers 0..31).
+namespace enc {
+
+constexpr u32 r_type(u32 funct7, u32 rs2, u32 rs1, u32 funct3, u32 rd,
+                     u32 opcode) {
+  return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+         (rd << 7) | opcode;
+}
+constexpr u32 i_type(i32 imm, u32 rs1, u32 funct3, u32 rd, u32 opcode) {
+  return (static_cast<u32>(imm) << 20) | (rs1 << 15) | (funct3 << 12) |
+         (rd << 7) | opcode;
+}
+constexpr u32 s_type(i32 imm, u32 rs2, u32 rs1, u32 funct3, u32 opcode) {
+  const u32 u = static_cast<u32>(imm);
+  return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+         ((u & 0x1f) << 7) | opcode;
+}
+constexpr u32 b_type(i32 imm, u32 rs2, u32 rs1, u32 funct3, u32 opcode) {
+  const u32 u = static_cast<u32>(imm);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) | (rs2 << 20) |
+         (rs1 << 15) | (funct3 << 12) | (((u >> 1) & 0xf) << 8) |
+         (((u >> 11) & 1) << 7) | opcode;
+}
+constexpr u32 u_type(u32 imm20, u32 rd, u32 opcode) {
+  return (imm20 << 12) | (rd << 7) | opcode;
+}
+constexpr u32 j_type(i32 imm, u32 rd, u32 opcode) {
+  const u32 u = static_cast<u32>(imm);
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+         (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) | (rd << 7) |
+         opcode;
+}
+
+}  // namespace enc
+
+/// Two-pass mini assembler with labels.
+class Asm {
+ public:
+  using Label = std::size_t;
+
+  /// Declares a label; bind it later with bind().
+  Label make_label() {
+    labels_.push_back(kUnbound);
+    return labels_.size() - 1;
+  }
+
+  /// Binds `label` to the current position.
+  void bind(Label label) {
+    assert(labels_[label] == kUnbound && "label bound twice");
+    labels_[label] = bytes();
+  }
+
+  /// Current offset in bytes from the program start.
+  [[nodiscard]] u32 bytes() const {
+    return static_cast<u32>(words_.size() * 4);
+  }
+
+  // ----- ALU -----
+  void addi(u32 rd, u32 rs1, i32 imm) { emit(enc::i_type(imm, rs1, 0, rd, 0x13)); }
+  void slti(u32 rd, u32 rs1, i32 imm) { emit(enc::i_type(imm, rs1, 2, rd, 0x13)); }
+  void sltiu(u32 rd, u32 rs1, i32 imm) { emit(enc::i_type(imm, rs1, 3, rd, 0x13)); }
+  void xori(u32 rd, u32 rs1, i32 imm) { emit(enc::i_type(imm, rs1, 4, rd, 0x13)); }
+  void ori(u32 rd, u32 rs1, i32 imm) { emit(enc::i_type(imm, rs1, 6, rd, 0x13)); }
+  void andi(u32 rd, u32 rs1, i32 imm) { emit(enc::i_type(imm, rs1, 7, rd, 0x13)); }
+  void slli(u32 rd, u32 rs1, u32 sh) { emit(enc::i_type(static_cast<i32>(sh), rs1, 1, rd, 0x13)); }
+  void srli(u32 rd, u32 rs1, u32 sh) { emit(enc::i_type(static_cast<i32>(sh), rs1, 5, rd, 0x13)); }
+  void srai(u32 rd, u32 rs1, u32 sh) { emit(enc::i_type(static_cast<i32>(sh | 0x400), rs1, 5, rd, 0x13)); }
+  void add(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0, rs2, rs1, 0, rd, 0x33)); }
+  void sub(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0x20, rs2, rs1, 0, rd, 0x33)); }
+  void sll(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0, rs2, rs1, 1, rd, 0x33)); }
+  void slt(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0, rs2, rs1, 2, rd, 0x33)); }
+  void sltu(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0, rs2, rs1, 3, rd, 0x33)); }
+  void xor_(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0, rs2, rs1, 4, rd, 0x33)); }
+  void srl(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0, rs2, rs1, 5, rd, 0x33)); }
+  void sra(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0x20, rs2, rs1, 5, rd, 0x33)); }
+  void or_(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0, rs2, rs1, 6, rd, 0x33)); }
+  void and_(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(0, rs2, rs1, 7, rd, 0x33)); }
+
+  // ----- M extension -----
+  void mul(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(1, rs2, rs1, 0, rd, 0x33)); }
+  void mulh(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(1, rs2, rs1, 1, rd, 0x33)); }
+  void mulhu(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(1, rs2, rs1, 3, rd, 0x33)); }
+  void div(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(1, rs2, rs1, 4, rd, 0x33)); }
+  void divu(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(1, rs2, rs1, 5, rd, 0x33)); }
+  void rem(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(1, rs2, rs1, 6, rd, 0x33)); }
+  void remu(u32 rd, u32 rs1, u32 rs2) { emit(enc::r_type(1, rs2, rs1, 7, rd, 0x33)); }
+
+  // ----- upper immediates -----
+  void lui(u32 rd, u32 imm20) { emit(enc::u_type(imm20, rd, 0x37)); }
+  void auipc(u32 rd, u32 imm20) { emit(enc::u_type(imm20, rd, 0x17)); }
+  /// Pseudo: load any 32-bit constant (lui+addi pair, always 2 words).
+  void li(u32 rd, u32 value) {
+    const u32 lo = value & 0xfff;
+    u32 hi = value >> 12;
+    if (lo >= 0x800) hi += 1;  // addi sign-extends; compensate
+    lui(rd, hi & 0xfffff);
+    addi(rd, rd, static_cast<i32>(lo << 20) >> 20);
+  }
+
+  // ----- memory -----
+  void lb(u32 rd, u32 rs1, i32 off) { emit(enc::i_type(off, rs1, 0, rd, 0x03)); }
+  void lh(u32 rd, u32 rs1, i32 off) { emit(enc::i_type(off, rs1, 1, rd, 0x03)); }
+  void lw(u32 rd, u32 rs1, i32 off) { emit(enc::i_type(off, rs1, 2, rd, 0x03)); }
+  void lbu(u32 rd, u32 rs1, i32 off) { emit(enc::i_type(off, rs1, 4, rd, 0x03)); }
+  void lhu(u32 rd, u32 rs1, i32 off) { emit(enc::i_type(off, rs1, 5, rd, 0x03)); }
+  void sb(u32 rs2, u32 rs1, i32 off) { emit(enc::s_type(off, rs2, rs1, 0, 0x23)); }
+  void sh(u32 rs2, u32 rs1, i32 off) { emit(enc::s_type(off, rs2, rs1, 1, 0x23)); }
+  void sw(u32 rs2, u32 rs1, i32 off) { emit(enc::s_type(off, rs2, rs1, 2, 0x23)); }
+
+  // ----- control flow (label-targeted) -----
+  void beq(u32 rs1, u32 rs2, Label t) { fixup(t, FixKind::kBranch, enc::b_type(0, rs2, rs1, 0, 0x63)); }
+  void bne(u32 rs1, u32 rs2, Label t) { fixup(t, FixKind::kBranch, enc::b_type(0, rs2, rs1, 1, 0x63)); }
+  void blt(u32 rs1, u32 rs2, Label t) { fixup(t, FixKind::kBranch, enc::b_type(0, rs2, rs1, 4, 0x63)); }
+  void bge(u32 rs1, u32 rs2, Label t) { fixup(t, FixKind::kBranch, enc::b_type(0, rs2, rs1, 5, 0x63)); }
+  void bltu(u32 rs1, u32 rs2, Label t) { fixup(t, FixKind::kBranch, enc::b_type(0, rs2, rs1, 6, 0x63)); }
+  void bgeu(u32 rs1, u32 rs2, Label t) { fixup(t, FixKind::kBranch, enc::b_type(0, rs2, rs1, 7, 0x63)); }
+  void jal(u32 rd, Label t) { fixup(t, FixKind::kJal, enc::j_type(0, rd, 0x6f)); }
+  void j(Label t) { jal(0, t); }
+  void jalr(u32 rd, u32 rs1, i32 off) { emit(enc::i_type(off, rs1, 0, rd, 0x67)); }
+  void ret() { jalr(0, 1, 0); }
+
+  // ----- system -----
+  void ecall() { emit(0x00000073); }
+  void ebreak() { emit(0x00100073); }
+  void nop() { addi(0, 0, 0); }
+
+  /// Resolves fixups; asserts every used label is bound.
+  [[nodiscard]] std::vector<u32> build() const;
+
+  /// Assembles and writes the program into `mem` at `base`.
+  u32 load_into(sim::Memory& mem, u32 base) const;
+
+ private:
+  enum class FixKind { kBranch, kJal };
+  struct Fixup {
+    std::size_t word_index;
+    Label label;
+    FixKind kind;
+  };
+
+  static constexpr u32 kUnbound = 0xffffffffu;
+
+  void emit(u32 word) { words_.push_back(word); }
+  void fixup(Label label, FixKind kind, u32 scaffold) {
+    fixups_.push_back(Fixup{words_.size(), label, kind});
+    emit(scaffold);
+  }
+
+  std::vector<u32> words_;
+  std::vector<u32> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace vhp::iss

@@ -1,0 +1,80 @@
+// Memory bus of the instruction-set simulator.
+//
+// The ISS is an alternative CPU model for the virtual board (the paper's
+// companion work integrates an ISS the same way): instead of modeling
+// software cost with consume() annotations, real machine code executes and
+// every instruction is charged to the board's cycle budget. The bus decodes
+// RAM (backed by the sparse sim::Memory) and memory-mapped I/O windows —
+// the board module maps the remote simulated device there, so RV32 code
+// drives the co-simulated hardware through plain loads and stores.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "vhp/common/types.hpp"
+#include "vhp/sim/memory.hpp"
+
+namespace vhp::iss {
+
+class Bus {
+ public:
+  virtual ~Bus() = default;
+
+  /// Zero-extended load of 1, 2 or 4 bytes.
+  virtual u32 load(u32 addr, unsigned bytes) = 0;
+  virtual void store(u32 addr, u32 value, unsigned bytes) = 0;
+};
+
+/// RAM + MMIO windows.
+class MemoryBus final : public Bus {
+ public:
+  using LoadHandler = std::function<u32(u32 offset, unsigned bytes)>;
+  using StoreHandler = std::function<void(u32 offset, u32 value,
+                                          unsigned bytes)>;
+
+  explicit MemoryBus(sim::Memory& ram) : ram_(ram) {}
+
+  /// Maps [base, base+size) to handlers; later mappings win on overlap.
+  void map_mmio(u32 base, u32 size, LoadHandler load, StoreHandler store) {
+    mmio_.push_back(Window{base, size, std::move(load), std::move(store)});
+  }
+
+  u32 load(u32 addr, unsigned bytes) override {
+    for (auto it = mmio_.rbegin(); it != mmio_.rend(); ++it) {
+      if (addr >= it->base && addr - it->base < it->size) {
+        return it->load ? it->load(addr - it->base, bytes) : 0;
+      }
+    }
+    u32 v = 0;
+    std::array<u8, 4> raw{};
+    ram_.read(addr, std::span{raw.data(), bytes});
+    for (unsigned i = 0; i < bytes; ++i) v |= static_cast<u32>(raw[i]) << (8 * i);
+    return v;
+  }
+
+  void store(u32 addr, u32 value, unsigned bytes) override {
+    for (auto it = mmio_.rbegin(); it != mmio_.rend(); ++it) {
+      if (addr >= it->base && addr - it->base < it->size) {
+        if (it->store) it->store(addr - it->base, value, bytes);
+        return;
+      }
+    }
+    std::array<u8, 4> raw{};
+    for (unsigned i = 0; i < bytes; ++i) raw[i] = static_cast<u8>(value >> (8 * i));
+    ram_.write(addr, std::span{raw.data(), bytes});
+  }
+
+ private:
+  struct Window {
+    u32 base;
+    u32 size;
+    LoadHandler load;
+    StoreHandler store;
+  };
+
+  sim::Memory& ram_;
+  std::vector<Window> mmio_;
+};
+
+}  // namespace vhp::iss

@@ -1,0 +1,72 @@
+// RV32IM instruction-set simulator core.
+//
+// A deliberately simple interpreter: fetch, decode, execute, one call per
+// instruction. Traps (ECALL/EBREAK/illegal/misaligned) are returned to the
+// embedder rather than vectored, because the embedder here is the virtual
+// board, which maps ECALL onto RTOS services (exit, wait-for-interrupt,
+// tick queries — see vhp/iss/runner.hpp).
+#pragma once
+
+#include <array>
+
+#include "vhp/common/types.hpp"
+#include "vhp/iss/bus.hpp"
+
+namespace vhp::iss {
+
+enum class TrapKind : u8 {
+  kNone = 0,
+  kEcall,
+  kEbreak,
+  kIllegalInstruction,
+  kMisalignedFetch,
+};
+
+struct StepResult {
+  TrapKind trap = TrapKind::kNone;
+  /// Modeled cost of the instruction in CPU cycles.
+  u64 cycles = 1;
+  /// The raw instruction word (diagnostics).
+  u32 instruction = 0;
+};
+
+class Cpu {
+ public:
+  explicit Cpu(Bus& bus) : bus_(bus) {}
+
+  /// x0 reads as zero always; writes to it are dropped.
+  [[nodiscard]] u32 reg(unsigned i) const { return i == 0 ? 0 : x_[i]; }
+  void set_reg(unsigned i, u32 v) {
+    if (i != 0) x_[i] = v;
+  }
+
+  [[nodiscard]] u32 pc() const { return pc_; }
+  void set_pc(u32 pc) { pc_ = pc; }
+
+  [[nodiscard]] u64 instructions_retired() const { return retired_; }
+
+  /// Executes one instruction. On ECALL/EBREAK the pc is already advanced
+  /// past the trapping instruction (resume by just calling step again).
+  /// On an illegal instruction the pc points AT the offender.
+  StepResult step();
+
+  /// RISC-V ABI register numbers used by the runner's syscall convention.
+  static constexpr unsigned kRegRa = 1;
+  static constexpr unsigned kRegSp = 2;
+  static constexpr unsigned kRegA0 = 10;
+  static constexpr unsigned kRegA1 = 11;
+  static constexpr unsigned kRegA7 = 17;
+
+ private:
+  [[nodiscard]] static i32 sext(u32 value, unsigned bits) {
+    const u32 shift = 32 - bits;
+    return static_cast<i32>(value << shift) >> shift;
+  }
+
+  Bus& bus_;
+  std::array<u32, 32> x_{};
+  u32 pc_ = 0;
+  u64 retired_ = 0;
+};
+
+}  // namespace vhp::iss

@@ -1,0 +1,88 @@
+// Wire messages of the co-simulation protocol (DESIGN.md §6).
+//
+// The paper routes three kinds of traffic over three TCP/IP ports:
+//   DATA_PORT  — device payload (driver reads/writes),
+//   INT_PORT   — interrupt notifications from the simulated HW to the board,
+//   CLOCK_PORT — the timing packets that implement the virtual tick.
+// Each message is a tagged, length-framed, little-endian record.
+#pragma once
+
+#include <span>
+#include <variant>
+
+#include "vhp/common/bytes.hpp"
+#include "vhp/common/status.hpp"
+#include "vhp/common/types.hpp"
+
+namespace vhp::net {
+
+enum class MsgType : u8 {
+  kDataWrite = 1,    // SW -> HW: driver write to device register/FIFO
+  kDataReadReq = 2,  // SW -> HW: driver read request
+  kDataReadResp = 3, // HW -> SW: read response
+  kIntRaise = 4,     // HW -> SW: interrupt line asserted
+  kClockTick = 5,    // HW -> SW: advance T_sync worth of ticks (virtual tick)
+  kTimeAck = 6,      // SW -> HW: board frozen again, reports its tick count
+  kShutdown = 7,     // HW -> SW: end of co-simulation
+};
+
+[[nodiscard]] std::string_view to_string(MsgType t);
+
+/// Driver write: `data` bytes land at device address `address`.
+struct DataWrite {
+  u32 address = 0;
+  Bytes data;
+  bool operator==(const DataWrite&) const = default;
+};
+
+/// Driver read request for `nbytes` bytes at `address`.
+struct DataReadReq {
+  u32 address = 0;
+  u32 nbytes = 0;
+  bool operator==(const DataReadReq&) const = default;
+};
+
+/// Response to a DataReadReq.
+struct DataReadResp {
+  u32 address = 0;
+  Bytes data;
+  bool operator==(const DataReadResp&) const = default;
+};
+
+/// HW interrupt: the simulated device asserted interrupt vector `vector`.
+struct IntRaise {
+  u32 vector = 0;
+  bool operator==(const IntRaise&) const = default;
+};
+
+/// Virtual tick: the kernel reached simulated cycle `sim_cycle` and grants
+/// the board `n_ticks` software ticks of execution (paper §4.2, T_sync).
+struct ClockTick {
+  u64 sim_cycle = 0;
+  u32 n_ticks = 0;
+  bool operator==(const ClockTick&) const = default;
+};
+
+/// Board answer: it consumed its tick budget and froze at `board_tick`.
+struct TimeAck {
+  u64 board_tick = 0;
+  bool operator==(const TimeAck&) const = default;
+};
+
+struct Shutdown {
+  bool operator==(const Shutdown&) const = default;
+};
+
+using Message = std::variant<DataWrite, DataReadReq, DataReadResp, IntRaise,
+                             ClockTick, TimeAck, Shutdown>;
+
+[[nodiscard]] MsgType type_of(const Message& msg);
+
+/// Serializes `msg` to a frame body (type byte + payload). The transport adds
+/// the u32 length prefix.
+[[nodiscard]] Bytes encode(const Message& msg);
+
+/// Parses a frame body produced by encode().
+[[nodiscard]] Result<Message> decode(std::span<const u8> frame);
+
+}  // namespace vhp::net

@@ -1,0 +1,40 @@
+// TCP transport over loopback: the paper's actual board<->host medium.
+//
+// Frames are u32 little-endian length + body. TCP_NODELAY is set on every
+// socket — the CLOCK_PORT exchange is a ping-pong of tiny packets and
+// Nagle's algorithm would serialize it against delayed ACKs.
+#pragma once
+
+#include <array>
+
+#include "vhp/net/channel.hpp"
+
+namespace vhp::net {
+
+/// Server side: binds three ephemeral loopback ports (DATA, INT, CLOCK),
+/// publishes their numbers, then accepts exactly one peer per port.
+class TcpLinkListener {
+ public:
+  /// Binds and listens; throws std::system_error on resource exhaustion
+  /// (programming/environment error, not a protocol condition).
+  TcpLinkListener();
+  ~TcpLinkListener();
+
+  TcpLinkListener(const TcpLinkListener&) = delete;
+  TcpLinkListener& operator=(const TcpLinkListener&) = delete;
+
+  /// Port numbers in DATA, INT, CLOCK order.
+  [[nodiscard]] std::array<u16, 3> ports() const { return ports_; }
+
+  /// Blocks until all three peers connected; returns the HW-side link.
+  [[nodiscard]] Result<CosimLink> accept_link();
+
+ private:
+  std::array<int, 3> listen_fds_{-1, -1, -1};
+  std::array<u16, 3> ports_{};
+};
+
+/// Client (board) side: connects to the three ports on 127.0.0.1.
+[[nodiscard]] Result<CosimLink> connect_tcp_link(std::array<u16, 3> ports);
+
+}  // namespace vhp::net

@@ -1,0 +1,44 @@
+// The board-side C application of the case study: woken by the router
+// device's interrupt, it reads the posted packet over the DATA port,
+// spends modeled CPU cycles computing the Internet checksum, and writes the
+// verdict (id << 1 | ok) back to the device.
+#pragma once
+
+#include "vhp/board/board.hpp"
+#include "vhp/rtos/sync.hpp"
+
+namespace vhp::router {
+
+struct ChecksumAppConfig {
+  u32 packet_addr = 0x0;   // must match RouterConfig::packet_out_addr
+  u32 verdict_addr = 0x4;  // must match RouterConfig::verdict_in_addr
+  u32 max_packet_bytes = 2048;
+  /// Modeled software cost of one verification, in board CPU cycles.
+  u64 cost_base = 100;
+  u64 cost_per_byte = 4;
+  int priority = 8;
+};
+
+class ChecksumApp {
+ public:
+  /// Installs the device DSR and spawns the application thread. Must be
+  /// constructed before Board::run() starts.
+  ChecksumApp(board::Board& board, ChecksumAppConfig config = {});
+
+  ChecksumApp(const ChecksumApp&) = delete;
+  ChecksumApp& operator=(const ChecksumApp&) = delete;
+
+  [[nodiscard]] u64 processed() const { return processed_; }
+  [[nodiscard]] u64 rejected() const { return rejected_; }
+
+ private:
+  void app_loop();
+
+  board::Board& board_;
+  ChecksumAppConfig config_;
+  rtos::Semaphore pending_;
+  u64 processed_ = 0;
+  u64 rejected_ = 0;
+};
+
+}  // namespace vhp::router

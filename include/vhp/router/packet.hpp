@@ -1,0 +1,45 @@
+// The case-study packet (paper Section 6): source address, destination
+// address, identifier "used for debugging purposes only", data field, and a
+// 16-bit error-detection checksum (RFC 1071 Internet checksum over the
+// whole packet with the checksum field zeroed).
+#pragma once
+
+#include <optional>
+
+#include "vhp/common/bytes.hpp"
+#include "vhp/common/types.hpp"
+
+namespace vhp::router {
+
+struct Packet {
+  u8 src = 0;
+  u8 dst = 0;
+  u32 id = 0;
+  Bytes payload;
+  u16 checksum = 0;
+
+  bool operator==(const Packet&) const = default;
+
+  /// Wire layout: [src u8][dst u8][id u32][len u32][payload][checksum u16].
+  [[nodiscard]] Bytes pack() const;
+
+  /// Parses a packed packet; nullopt on structural corruption (truncation,
+  /// bad length). A wrong checksum still parses — checksum verification is
+  /// the application's job.
+  [[nodiscard]] static std::optional<Packet> unpack(std::span<const u8> raw);
+
+  /// Computes and stores the checksum so that a packed packet verifies.
+  void finalize_checksum();
+
+  /// Recomputes the checksum over this packet's content and compares.
+  [[nodiscard]] bool checksum_ok() const;
+
+  /// Extracts just the id field from a packed packet without a full parse
+  /// (used by the board application to acknowledge unparseable packets).
+  [[nodiscard]] static std::optional<u32> peek_id(std::span<const u8> raw);
+};
+
+/// True iff `raw` is a packed packet whose embedded checksum verifies.
+[[nodiscard]] bool packed_checksum_ok(std::span<const u8> raw);
+
+}  // namespace vhp::router

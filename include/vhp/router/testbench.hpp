@@ -1,0 +1,50 @@
+// The full HW-side configuration of the paper's experiment: one producer per
+// router input, the router, one consumer per output — ready to drive either
+// standalone (local checksum) or co-simulated (remote checksum + ChecksumApp
+// on the board).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "vhp/router/router.hpp"
+#include "vhp/router/traffic.hpp"
+
+namespace vhp::router {
+
+struct TestbenchConfig {
+  RouterConfig router{};
+  /// Packets each producer emits; N_total = n_ports * packets_per_port.
+  u64 packets_per_port = 25;
+  u64 gap_cycles = 1000;
+  std::size_t payload_bytes = 32;
+  double corrupt_probability = 0.0;
+  u64 seed = 42;
+};
+
+class RouterTestbench {
+ public:
+  RouterTestbench(sim::Kernel& kernel, TestbenchConfig config,
+                  cosim::DriverRegistry* registry = nullptr);
+
+  [[nodiscard]] RouterModule& router() { return *router_; }
+  [[nodiscard]] const TestbenchConfig& config() const { return config_; }
+
+  [[nodiscard]] u64 total_emitted() const;
+  [[nodiscard]] u64 total_received() const;
+  [[nodiscard]] u64 total_integrity_failures() const;
+
+  /// All producers finished and the router processed everything it accepted.
+  [[nodiscard]] bool traffic_done() const;
+
+  /// The paper's accuracy metric: packets handled / packets sent.
+  [[nodiscard]] double forward_ratio() const;
+
+ private:
+  TestbenchConfig config_;
+  std::unique_ptr<RouterModule> router_;
+  std::vector<std::unique_ptr<PacketGenerator>> generators_;
+  std::vector<std::unique_ptr<PacketConsumer>> consumers_;
+};
+
+}  // namespace vhp::router

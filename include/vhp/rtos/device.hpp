@@ -1,0 +1,60 @@
+// Device driver framework (eCos devtab).
+//
+// Drivers register under a name ("/dev/router0"); applications look them up
+// and use the uniform read/write/ioctl interface. The paper's methodology
+// hinges on this indirection: "the SW accesses the HW device under design
+// through a device driver ... viewed as any other device", so swapping the
+// simulated remote device for a real one is a devtab change, not an
+// application change.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "vhp/common/bytes.hpp"
+#include "vhp/common/status.hpp"
+#include "vhp/common/types.hpp"
+
+namespace vhp::rtos {
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Called once when the device is first looked up.
+  virtual Status open() { return Status::Ok(); }
+
+  /// Reads up to `max_bytes` from device address `address`.
+  virtual Result<Bytes> read(u32 address, u32 max_bytes) = 0;
+
+  /// Writes `data` at device address `address`.
+  virtual Status write(u32 address, std::span<const u8> data) = 0;
+
+  /// Driver-specific control; default rejects every request.
+  virtual Status ioctl(u32 /*request*/, Bytes& /*inout*/) {
+    return Status{StatusCode::kInvalidArgument, "unsupported ioctl"};
+  }
+};
+
+class DeviceTable {
+ public:
+  /// Registers `device` under `name`; fails on duplicates.
+  Status register_device(const std::string& name,
+                         std::unique_ptr<Device> device);
+
+  /// Looks up and (on first use) opens a device.
+  Result<Device*> lookup(const std::string& name);
+
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Device> device;
+    bool opened = false;
+  };
+  std::map<std::string, Entry> devices_;
+};
+
+}  // namespace vhp::rtos

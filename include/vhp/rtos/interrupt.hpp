@@ -1,0 +1,66 @@
+// Two-level interrupt handling (eCos ISR + DSR).
+//
+// The ISR runs immediately when a vector is raised, with the scheduler
+// conceptually locked; it does minimal work and may request its DSR. DSRs
+// are queued and drained at the next scheduler-safe point, where they may
+// wake threads (typically by posting a semaphore the driver thread waits
+// on). The virtual device driver of the board module is built on this.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "vhp/common/types.hpp"
+
+namespace vhp::rtos {
+
+class Kernel;
+
+/// Return value of an ISR.
+enum class IsrResult {
+  kHandled,        // done, no DSR needed
+  kCallDsr,        // schedule the DSR
+};
+
+struct InterruptHandler {
+  std::function<IsrResult(u32 vector)> isr;
+  std::function<void(u32 vector)> dsr;  // may be empty when never requested
+};
+
+class InterruptController {
+ public:
+  explicit InterruptController(Kernel& kernel) : kernel_(kernel) {}
+
+  /// Attaches a handler to a vector (replaces any previous one).
+  void attach(u32 vector, InterruptHandler handler);
+  void detach(u32 vector);
+
+  /// Masked vectors are recorded and delivered on unmask.
+  void mask(u32 vector);
+  void unmask(u32 vector);
+
+  /// Raises `vector`: runs the ISR now; queues the DSR if requested.
+  /// Unhandled vectors are counted (spurious interrupts).
+  void raise(u32 vector);
+
+  /// Drains queued DSRs; called by the kernel at safe points.
+  void run_pending_dsrs();
+
+  [[nodiscard]] u64 spurious_count() const { return spurious_; }
+  [[nodiscard]] bool dsr_pending() const { return !dsr_queue_.empty(); }
+
+ private:
+  struct Entry {
+    InterruptHandler handler;
+    bool masked = false;
+    u32 pending_while_masked = 0;
+  };
+
+  Kernel& kernel_;
+  std::unordered_map<u32, Entry> handlers_;
+  std::deque<u32> dsr_queue_;
+  u64 spurious_ = 0;
+};
+
+}  // namespace vhp::rtos

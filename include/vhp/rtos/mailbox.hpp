@@ -1,0 +1,86 @@
+// Bounded message mailbox (eCos cyg_mbox), templated on the payload type.
+// Producer blocks when full, consumer blocks when empty; both directions
+// support tick-denominated timeouts.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "vhp/rtos/wait_queue.hpp"
+
+namespace vhp::rtos {
+
+class Kernel;
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox(Kernel& kernel, std::size_t capacity)
+      : not_empty_(kernel), not_full_(kernel), capacity_(capacity) {}
+
+  /// Blocking put.
+  void put(T item) {
+    while (items_.size() >= capacity_) not_full_.wait();
+    items_.push_back(std::move(item));
+    not_empty_.wake_one();
+  }
+
+  /// Timed put; false when the box stayed full past the timeout.
+  bool put_ticks(T item, SwTicks timeout) {
+    while (items_.size() >= capacity_) {
+      if (!not_full_.wait_ticks(timeout)) return false;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.wake_one();
+    return true;
+  }
+
+  /// Non-blocking put; false when full.
+  bool try_put(T item) {
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.wake_one();
+    return true;
+  }
+
+  /// Blocking get.
+  T get() {
+    while (items_.empty()) not_empty_.wait();
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.wake_one();
+    return item;
+  }
+
+  /// Timed get; nullopt on timeout.
+  std::optional<T> get_ticks(SwTicks timeout) {
+    while (items_.empty()) {
+      if (!not_empty_.wait_ticks(timeout)) return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.wake_one();
+    return item;
+  }
+
+  /// Non-blocking get.
+  std::optional<T> try_get() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.wake_one();
+    return item;
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+ private:
+  WaitQueue not_empty_;
+  WaitQueue not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+};
+
+}  // namespace vhp::rtos

@@ -1,0 +1,37 @@
+// Bitmap priority scheduler with round-robin timeslicing (the eCos MLQ
+// scheduler, simplified to one ready queue per priority + a 32-bit bitmap).
+#pragma once
+
+#include <array>
+#include <deque>
+
+#include "vhp/common/types.hpp"
+#include "vhp/rtos/thread.hpp"
+
+namespace vhp::rtos {
+
+class Scheduler {
+ public:
+  /// Appends to the tail of its priority's ready queue.
+  void make_ready(Thread* thread);
+
+  /// Removes from its ready queue (e.g. when blocking).
+  void remove(Thread* thread);
+
+  /// Highest-priority ready thread; in `idle_state`, only communication
+  /// threads are eligible (paper Section 5.3). nullptr when none.
+  [[nodiscard]] Thread* pick(bool idle_state) const;
+
+  /// Moves the head of `priority`'s queue to the tail (timeslice expiry).
+  void rotate(int priority);
+
+  [[nodiscard]] bool any_ready(bool idle_state) const {
+    return pick(idle_state) != nullptr;
+  }
+
+ private:
+  std::array<std::deque<Thread*>, Thread::kPriorities> ready_;
+  u32 bitmap_ = 0;  // bit p set <=> ready_[p] nonempty
+};
+
+}  // namespace vhp::rtos

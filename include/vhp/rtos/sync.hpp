@@ -1,0 +1,106 @@
+// Thread synchronization objects (eCos cyg_mutex / cyg_sem / cyg_flag).
+// All are thin layers over WaitQueue; the kernel is single-host-threaded,
+// so no atomicity machinery is needed — blocking points are explicit.
+#pragma once
+
+#include <optional>
+
+#include "vhp/common/types.hpp"
+#include "vhp/rtos/wait_queue.hpp"
+
+namespace vhp::rtos {
+
+class Kernel;
+class Thread;
+
+class Mutex {
+ public:
+  /// Priority-inversion protocol (eCos offers the same choice).
+  enum class Protocol {
+    kNone,     // plain blocking mutex
+    kInherit,  // owner inherits the highest waiting priority (default)
+  };
+
+  explicit Mutex(Kernel& kernel, Protocol protocol = Protocol::kInherit)
+      : kernel_(kernel), queue_(kernel), protocol_(protocol) {}
+
+  /// Blocks until the mutex is acquired. Recursion is a bug (asserted).
+  void lock();
+  /// Non-blocking acquire.
+  bool try_lock();
+  void unlock();
+
+  [[nodiscard]] bool locked() const { return owner_ != nullptr; }
+  [[nodiscard]] Thread* owner() const { return owner_; }
+  [[nodiscard]] Protocol protocol() const { return protocol_; }
+
+ private:
+  friend class Kernel;
+
+  void acquire(Thread* self);
+  /// Highest (numerically smallest) priority among current waiters, or
+  /// a sentinel when none wait.
+  [[nodiscard]] int top_waiter_priority() const;
+
+  Kernel& kernel_;
+  WaitQueue queue_;
+  Protocol protocol_;
+  Thread* owner_ = nullptr;
+};
+
+/// RAII lock for Mutex.
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+class Semaphore {
+ public:
+  explicit Semaphore(Kernel& kernel, u32 initial = 0)
+      : queue_(kernel), count_(initial) {}
+
+  /// Decrements, blocking while zero.
+  void wait();
+  /// Like wait() but gives up after `timeout` SW ticks; false on timeout.
+  bool wait_ticks(SwTicks timeout);
+  /// Non-blocking decrement.
+  bool try_wait();
+  /// Increments and wakes one waiter.
+  void post();
+
+  [[nodiscard]] u32 count() const { return count_; }
+
+ private:
+  WaitQueue queue_;
+  u32 count_;
+};
+
+/// Bit-mask event flag (eCos cyg_flag): waiters specify a mask and wake when
+/// any of its bits are set; consumed bits are cleared on wake.
+class EventFlag {
+ public:
+  explicit EventFlag(Kernel& kernel) : queue_(kernel) {}
+
+  /// Sets bits and wakes every waiter whose mask now matches.
+  void set(u32 bits);
+
+  /// Blocks until (flags & mask) != 0; returns and clears the matched bits.
+  u32 wait_any(u32 mask);
+
+  /// Like wait_any but gives up after `timeout` SW ticks; nullopt then.
+  std::optional<u32> wait_any_ticks(u32 mask, SwTicks timeout);
+
+  [[nodiscard]] u32 peek() const { return bits_; }
+
+ private:
+  WaitQueue queue_;
+  u32 bits_ = 0;
+};
+
+}  // namespace vhp::rtos

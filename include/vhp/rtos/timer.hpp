@@ -1,0 +1,82 @@
+// Counters and alarms (eCos cyg_counter / cyg_alarm).
+//
+// The kernel owns one counter — the "real-time clock" — advanced once per SW
+// tick by the timer interrupt path. Alarms attach to a counter and fire
+// (one-shot or periodically) when it reaches their trigger value; thread
+// delays and wait timeouts are alarms.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "vhp/common/types.hpp"
+
+namespace vhp::rtos {
+
+class Counter;
+
+class Alarm {
+ public:
+  /// Handler runs in "tick context" (scheduler-safe point, current stack).
+  using Handler = std::function<void(Alarm&, u64 counter_value)>;
+
+  Alarm(Counter& counter, Handler handler);
+  ~Alarm();
+
+  Alarm(const Alarm&) = delete;
+  Alarm& operator=(const Alarm&) = delete;
+
+  /// Arms to fire when the counter reaches `trigger`; if `period` > 0 the
+  /// alarm re-arms every `period` counts after that.
+  void arm_at(u64 trigger, u64 period = 0);
+
+  /// Arms relative to the counter's current value.
+  void arm_in(u64 delta, u64 period = 0);
+
+  void disarm();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] u64 trigger() const { return trigger_; }
+
+ private:
+  friend class Counter;
+
+  Counter& counter_;
+  Handler handler_;
+  u64 trigger_ = 0;
+  u64 period_ = 0;
+  bool armed_ = false;
+};
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] u64 value() const { return value_; }
+
+  /// Advances by `n`, firing every alarm whose trigger is passed, in
+  /// trigger order. Periodic alarms fire multiple times if overtaken.
+  void advance(u64 n = 1);
+
+  [[nodiscard]] bool has_pending_alarms() const { return !pending_.empty(); }
+  /// Trigger value of the earliest pending alarm.
+  [[nodiscard]] std::optional<u64> next_trigger() const {
+    if (pending_.empty()) return std::nullopt;
+    return pending_.begin()->first;
+  }
+
+ private:
+  friend class Alarm;
+
+  void enqueue(Alarm* alarm);
+  void dequeue(Alarm* alarm);
+
+  std::string name_;
+  u64 value_ = 0;
+  std::multimap<u64, Alarm*> pending_;
+};
+
+}  // namespace vhp::rtos

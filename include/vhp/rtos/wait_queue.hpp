@@ -1,0 +1,53 @@
+// The blocking primitive underlying every synchronization object: a FIFO of
+// blocked threads. Timed waits use an alarm on the kernel's real-time clock,
+// so timeouts are measured in *virtual* SW ticks — while the OS is frozen in
+// the idle state, timeouts are frozen too, which is exactly the semantics
+// the virtual tick requires.
+#pragma once
+
+#include <deque>
+
+#include "vhp/common/types.hpp"
+
+namespace vhp::rtos {
+
+class Kernel;
+class Thread;
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Kernel& kernel) : kernel_(kernel) {}
+  ~WaitQueue();
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  /// Blocks the current thread until woken.
+  void wait();
+
+  /// Blocks the current thread until woken or `timeout_ticks` SW ticks pass.
+  /// Returns false on timeout.
+  bool wait_ticks(SwTicks timeout_ticks);
+
+  /// Wakes the longest-waiting thread (FIFO). No-op when empty.
+  void wake_one();
+
+  void wake_all();
+
+  [[nodiscard]] bool empty() const { return waiters_.empty(); }
+  [[nodiscard]] std::size_t size() const { return waiters_.size(); }
+  [[nodiscard]] const std::deque<Thread*>& waiters() const {
+    return waiters_;
+  }
+
+ private:
+  friend class Kernel;
+
+  /// Removes a specific thread (timeout path); returns true if it was here.
+  bool remove(Thread* thread);
+
+  Kernel& kernel_;
+  std::deque<Thread*> waiters_;
+};
+
+}  // namespace vhp::rtos

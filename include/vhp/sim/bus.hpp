@@ -1,0 +1,145 @@
+// Shared bus interconnect with address decoding and arbitration — the "Bus"
+// block of the paper's Figure 1 board diagram, as a reusable HDL substrate.
+//
+// Model: a single-transaction shared bus. Masters are thread processes that
+// call read()/write(); the call blocks in *simulated* time for arbitration
+// (one transaction at a time), the transfer itself, and the target's wait
+// states. Targets implement word-granular BusTarget and are mapped into the
+// address space at elaboration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vhp/common/status.hpp"
+#include "vhp/sim/memory.hpp"
+#include "vhp/sim/module.hpp"
+
+namespace vhp::sim {
+
+/// Slave-side interface (word granular: 32-bit aligned accesses).
+class BusTarget {
+ public:
+  virtual ~BusTarget() = default;
+
+  virtual Result<u32> bus_read(u32 offset) = 0;
+  virtual Status bus_write(u32 offset, u32 data) = 0;
+
+  /// Wait states this target adds to every access, in bus clock cycles.
+  [[nodiscard]] virtual u64 wait_states() const { return 0; }
+};
+
+class Bus : public Module {
+ public:
+  struct Config {
+    /// Simulation time units per bus clock cycle.
+    SimTime clock_period = 2;
+    /// Base cost of any transfer, in bus cycles (address + data phase).
+    u64 transfer_cycles = 2;
+  };
+
+  struct Stats {
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 decode_errors = 0;
+    /// Transactions that had to wait for the bus to free up.
+    u64 contended = 0;
+  };
+
+  Bus(Kernel& kernel, std::string name, Config config);
+
+  /// Maps [base, base+size) to `target`; offsets passed to the target are
+  /// relative to base. Overlapping ranges are a configuration bug
+  /// (first match wins; keep them disjoint).
+  void map(u32 base, u32 size, BusTarget& target);
+
+  /// Blocking word read/write; thread-process context only. The call takes
+  /// (arbitration + transfer_cycles + target wait states) of simulated
+  /// time. Unmapped addresses fail after the transfer (bus error).
+  Result<u32> read(u32 addr);
+  Status write(u32 addr, u32 data);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Mapping {
+    u32 base;
+    u32 size;
+    BusTarget* target;
+  };
+
+  /// nullptr when no mapping covers addr.
+  [[nodiscard]] Mapping* decode(u32 addr);
+
+  /// One transaction at a time, FIFO-fair: each requester draws a ticket;
+  /// the bus serves tickets in order, so a back-to-back master cannot
+  /// starve a waiter by re-acquiring in the same instant (it draws a later
+  /// ticket and queues behind).
+  void acquire();
+  void release();
+
+  Config config_;
+  std::vector<Mapping> map_;
+  u64 next_ticket_ = 0;
+  u64 serving_ = 0;
+  Event released_;
+  Stats stats_;
+};
+
+/// Adapts a sim::Memory to a bus target (e.g. the board RAM behind the
+/// interconnect), with configurable wait states.
+class MemoryBusTarget final : public BusTarget {
+ public:
+  explicit MemoryBusTarget(Memory& memory, u64 wait_states = 1)
+      : memory_(memory), wait_states_(wait_states) {}
+
+  Result<u32> bus_read(u32 offset) override {
+    return memory_.read_u32(offset);
+  }
+  Status bus_write(u32 offset, u32 data) override {
+    memory_.write_u32(offset, data);
+    return Status::Ok();
+  }
+  [[nodiscard]] u64 wait_states() const override { return wait_states_; }
+
+ private:
+  Memory& memory_;
+  u64 wait_states_;
+};
+
+/// A small register file target (a device's programming interface).
+/// Reads return the register value; writes invoke an optional hook.
+class RegisterBusTarget final : public BusTarget {
+ public:
+  using WriteHook = std::function<void(u32 index, u32 value)>;
+
+  explicit RegisterBusTarget(std::size_t count, WriteHook hook = {})
+      : regs_(count, 0), hook_(std::move(hook)) {}
+
+  Result<u32> bus_read(u32 offset) override {
+    const u32 index = offset / 4;
+    if (index >= regs_.size()) {
+      return Status{StatusCode::kOutOfRange, "register index out of range"};
+    }
+    return regs_[index];
+  }
+
+  Status bus_write(u32 offset, u32 data) override {
+    const u32 index = offset / 4;
+    if (index >= regs_.size()) {
+      return Status{StatusCode::kOutOfRange, "register index out of range"};
+    }
+    regs_[index] = data;
+    if (hook_) hook_(index, data);
+    return Status::Ok();
+  }
+
+  [[nodiscard]] u32 peek(u32 index) const { return regs_[index]; }
+  void poke(u32 index, u32 value) { regs_[index] = value; }
+
+ private:
+  std::vector<u32> regs_;
+  WriteHook hook_;
+};
+
+}  // namespace vhp::sim

@@ -1,0 +1,75 @@
+// Bounded FIFO channel with blocking access from thread processes
+// (sc_fifo equivalent). The router model's input buffers are these.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <string>
+
+#include "vhp/sim/event.hpp"
+#include "vhp/sim/process.hpp"
+
+namespace vhp::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  Fifo(Kernel& kernel, std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity),
+        written_(kernel, name_ + ".written"),
+        read_(kernel, name_ + ".read") {
+    assert(capacity_ > 0);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+
+  /// Non-blocking write; false when full (the router drops packets here,
+  /// exactly the paper's "if the buffer is full, the packet is dropped").
+  bool nb_write(T value) {
+    if (full()) return false;
+    items_.push_back(std::move(value));
+    written_.notify_delta();
+    return true;
+  }
+
+  /// Non-blocking read; false when empty.
+  bool nb_read(T& out) {
+    if (empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    read_.notify_delta();
+    return true;
+  }
+
+  /// Blocking write from a thread process.
+  void write(T value) {
+    while (full()) wait(read_);
+    items_.push_back(std::move(value));
+    written_.notify_delta();
+  }
+
+  /// Blocking read from a thread process.
+  T read() {
+    while (empty()) wait(written_);
+    T value = std::move(items_.front());
+    items_.pop_front();
+    read_.notify_delta();
+    return value;
+  }
+
+  [[nodiscard]] Event& data_written_event() { return written_; }
+  [[nodiscard]] Event& data_read_event() { return read_; }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  Event written_;
+  Event read_;
+};
+
+}  // namespace vhp::sim

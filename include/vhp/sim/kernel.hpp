@@ -1,0 +1,118 @@
+// The discrete-event simulation kernel (the "simulate()" engine the paper
+// modifies into "driver_simulate()" — see vhp/cosim/cosim_kernel.hpp for
+// that modified loop).
+//
+// Scheduling model (SystemC-compatible):
+//   1. evaluation phase: run every runnable process; immediate
+//      notifications may make further processes runnable within the phase;
+//   2. update phase: apply signal updates requested during evaluation;
+//   3. delta notification phase: fire pending delta notifications, making
+//      processes runnable for the next delta cycle;
+//   4. when no delta activity remains, advance time to the earliest timed
+//      notification.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vhp/sim/event.hpp"
+#include "vhp/sim/process.hpp"
+#include "vhp/sim/signal.hpp"
+#include "vhp/sim/time.hpp"
+
+namespace vhp::sim {
+
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t delta_count() const { return delta_count_; }
+
+  /// Runs for `duration` time units from now (processes all activity with
+  /// timestamp <= now + duration, then sets now to exactly now + duration).
+  void run(SimTime duration) { run_until(now_ + duration); }
+
+  /// Runs until absolute time `t` (inclusive), then sets now == t.
+  void run_until(SimTime t);
+
+  /// Runs until no activity remains or stop() was requested.
+  void run_to_completion();
+
+  /// Earliest pending timed notification, if any.
+  [[nodiscard]] std::optional<SimTime> next_event_time() const;
+
+  /// True when no runnable process, delta or timed notification remains.
+  [[nodiscard]] bool idle() const;
+
+  /// Requests the run loop to return after the current delta cycle.
+  /// Callable from inside a process.
+  void stop() { stop_requested_ = true; }
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+
+  /// Livelock guard: a model whose processes keep notifying each other
+  /// with delta notifications never lets the timestep advance (the classic
+  /// zero-delay feedback bug; SystemC spins forever too). With a limit set,
+  /// exceeding `limit` delta cycles within one timestep throws
+  /// std::runtime_error naming the simulation time. 0 disables (default).
+  void set_delta_limit(std::uint64_t limit) { delta_limit_ = limit; }
+
+  /// --- registration API (used by Module; rarely called directly) ---
+  Process& register_process(std::unique_ptr<Process> process);
+
+  /// Statistics.
+  [[nodiscard]] std::uint64_t process_count() const {
+    return processes_.size();
+  }
+
+ private:
+  friend class Event;
+  friend class SignalBase;
+  friend class Process;
+  friend class MethodProcess;
+  friend class ThreadProcess;
+
+  void schedule_timed(Event* event, SimTime abs_time, std::uint64_t token);
+  void schedule_delta(Event* event);
+  /// Removes every queued reference to a dying event (Event destructor).
+  void forget_event(Event* event);
+  void request_update(SignalBase* signal);
+  void make_runnable(Process* process);
+
+  /// Runs initialization (first-run) of all processes not yet initialized.
+  void initialize_new_processes();
+
+  /// One full delta cycle (evaluate + update + delta notify).
+  /// Returns false if there was nothing to do.
+  bool do_delta_cycle();
+
+  /// All delta cycles at the current time point.
+  void exhaust_deltas();
+
+  SimTime now_ = 0;
+  std::uint64_t delta_count_ = 0;
+  std::uint64_t delta_limit_ = 0;
+  std::uint64_t timed_token_counter_ = 0;
+  bool stop_requested_ = false;
+  bool in_evaluation_ = false;
+
+  struct TimedEntry {
+    Event* event;
+    std::uint64_t token;
+  };
+  std::multimap<SimTime, TimedEntry> timed_queue_;
+  std::vector<Event*> delta_queue_;
+  std::vector<Process*> runnable_;
+  std::vector<SignalBase*> update_queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Process*> uninitialized_;
+};
+
+}  // namespace vhp::sim

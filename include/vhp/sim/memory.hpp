@@ -1,0 +1,58 @@
+// Byte-addressable memory model for HDL designs (the "Memory" block of the
+// paper's Figure 1 board diagram, reusable by any device model such as the
+// DMA engine example). Sparse page storage, so a 4 GiB address space costs
+// only what is touched; optional access counters for verification.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "vhp/common/bytes.hpp"
+#include "vhp/common/types.hpp"
+
+namespace vhp::sim {
+
+class Memory {
+ public:
+  static constexpr std::size_t kPageBytes = 4096;
+
+  explicit Memory(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Reads `out.size()` bytes from `addr`. Untouched memory reads as 0.
+  void read(u64 addr, std::span<u8> out) const;
+
+  /// Convenience: reads `n` bytes into a fresh buffer.
+  [[nodiscard]] Bytes read(u64 addr, std::size_t n) const;
+
+  void write(u64 addr, std::span<const u8> data);
+
+  [[nodiscard]] u8 read_u8(u64 addr) const;
+  [[nodiscard]] u32 read_u32(u64 addr) const;  // little-endian
+  void write_u8(u64 addr, u8 value);
+  void write_u32(u64 addr, u32 value);  // little-endian
+
+  /// Zero-fills everything (drops all pages).
+  void clear() { pages_.clear(); }
+
+  [[nodiscard]] std::size_t resident_pages() const { return pages_.size(); }
+  [[nodiscard]] u64 reads() const { return reads_; }
+  [[nodiscard]] u64 writes() const { return writes_; }
+
+ private:
+  using Page = std::array<u8, kPageBytes>;
+
+  /// Page for reading; nullptr when never written (reads as zero).
+  [[nodiscard]] const Page* page_for_read(u64 page_index) const;
+  Page& page_for_write(u64 page_index);
+
+  std::string name_;
+  std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+  mutable u64 reads_ = 0;
+  u64 writes_ = 0;
+};
+
+}  // namespace vhp::sim

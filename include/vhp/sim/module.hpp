@@ -1,0 +1,69 @@
+// Module: named container of processes, the structural unit of an HDL model
+// (sc_module equivalent). Derive, create ports/signals as members, and
+// register processes in the constructor:
+//
+//   struct Counter : sim::Module {
+//     sim::BoolInPort clk;
+//     sim::Signal<vhp::u32>& count;
+//     Counter(sim::Kernel& k)
+//         : Module(k, "counter"), count(make_signal<vhp::u32>("count")) {
+//       method("tick", [this] { count.write(count.read() + 1); })
+//           .sensitive(clk.posedge_event())
+//           .dont_initialize();
+//     }
+//   };
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vhp/sim/process.hpp"
+#include "vhp/sim/signal.hpp"
+
+namespace vhp::sim {
+
+class Kernel;
+
+class Module {
+ public:
+  Module(Kernel& kernel, std::string name);
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Kernel& kernel() const { return kernel_; }
+
+ protected:
+  /// Registers an SC_METHOD-style process owned by the kernel.
+  Process& method(const std::string& proc_name, std::function<void()> fn);
+
+  /// Registers an SC_THREAD-style process owned by the kernel.
+  Process& thread(const std::string& proc_name, std::function<void()> fn,
+                  std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  /// Creates a module-owned signal (convenience for internal signals).
+  template <typename T>
+  Signal<T>& make_signal(const std::string& sig_name, T init = T{}) {
+    auto sig = std::make_unique<Signal<T>>(kernel_, qualify(sig_name), init);
+    auto& ref = *sig;
+    owned_signals_.push_back(std::move(sig));
+    return ref;
+  }
+
+  BoolSignal& make_bool_signal(const std::string& sig_name, bool init = false);
+
+  [[nodiscard]] std::string qualify(const std::string& child) const {
+    return name_ + "." + child;
+  }
+
+  Kernel& kernel_;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<SignalBase>> owned_signals_;
+};
+
+}  // namespace vhp::sim

@@ -1,0 +1,82 @@
+// Ports: a module's typed connection points, bound to signals at elaboration
+// (sc_in / sc_out equivalents). The cosim module derives DriverIn/DriverOut
+// from these, exactly as the paper derives driver_in/driver_out from
+// sc_in/sc_out (Section 5.2).
+#pragma once
+
+#include <cassert>
+
+#include "vhp/sim/signal.hpp"
+
+namespace vhp::sim {
+
+template <typename T>
+class InPort {
+ public:
+  InPort() = default;
+
+  void bind(Signal<T>& signal) { signal_ = &signal; }
+
+  [[nodiscard]] bool bound() const { return signal_ != nullptr; }
+
+  [[nodiscard]] const T& read() const {
+    assert(bound() && "read of unbound port");
+    return signal_->read();
+  }
+
+  [[nodiscard]] Event& value_changed_event() {
+    assert(bound());
+    return signal_->value_changed_event();
+  }
+
+ protected:
+  Signal<T>* signal_ = nullptr;
+};
+
+/// Bool input port exposing edge events; must be bound to a BoolSignal
+/// (or Clock).
+class BoolInPort : public InPort<bool> {
+ public:
+  void bind(BoolSignal& signal) {
+    InPort<bool>::bind(signal);
+    bool_signal_ = &signal;
+  }
+
+  [[nodiscard]] Event& posedge_event() {
+    assert(bool_signal_ != nullptr);
+    return bool_signal_->posedge_event();
+  }
+  [[nodiscard]] Event& negedge_event() {
+    assert(bool_signal_ != nullptr);
+    return bool_signal_->negedge_event();
+  }
+
+ private:
+  BoolSignal* bool_signal_ = nullptr;
+};
+
+template <typename T>
+class OutPort {
+ public:
+  OutPort() = default;
+
+  void bind(Signal<T>& signal) { signal_ = &signal; }
+
+  [[nodiscard]] bool bound() const { return signal_ != nullptr; }
+
+  void write(const T& value) {
+    assert(bound() && "write to unbound port");
+    signal_->write(value);
+  }
+
+  /// Current (not pending) value of the bound signal.
+  [[nodiscard]] const T& read() const {
+    assert(bound());
+    return signal_->read();
+  }
+
+ private:
+  Signal<T>* signal_ = nullptr;
+};
+
+}  // namespace vhp::sim

@@ -1,0 +1,126 @@
+// Simulation processes: method processes (re-run to completion on every
+// trigger, like SC_METHOD) and thread processes (a fiber that suspends in
+// wait(), like SC_THREAD).
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vhp/common/fiber.hpp"
+#include "vhp/sim/event.hpp"
+#include "vhp/sim/time.hpp"
+
+namespace vhp::sim {
+
+class Kernel;
+class Module;
+
+class Process {
+ public:
+  enum class Kind { kMethod, kThread };
+
+  virtual ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Adds a static sensitivity; returns *this for chaining:
+  ///   method("rx", fn).sensitive(clk.posedge_event()).sensitive(reset_ev);
+  Process& sensitive(Event& event);
+
+  /// Suppresses the initialization run at simulation start.
+  Process& dont_initialize();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool terminated() const { return terminated_; }
+
+ protected:
+  Process(Kernel& kernel, Kind kind, std::string name);
+
+  friend class Kernel;
+  friend class Event;
+
+  /// Marks runnable (idempotent within one evaluation phase).
+  void trigger_from(Event& event);
+  /// Dynamic-wait wake path; stale tokens are ignored.
+  void trigger_dynamic(Event& event, std::uint64_t token);
+  /// Runs the process body once (method: full call; thread: until wait/end).
+  virtual void execute() = 0;
+
+  Kernel& kernel_;
+  Kind kind_;
+  std::string name_;
+  bool runnable_ = false;
+  bool terminated_ = false;
+  bool initialize_ = true;
+  /// Dynamic-wait bookkeeping: while a thread waits dynamically, static
+  /// sensitivity is masked (SystemC semantics) and only a registration
+  /// carrying the current token may wake it.
+  bool dynamic_wait_active_ = false;
+  std::uint64_t wait_token_ = 0;
+  Event* last_dynamic_trigger_ = nullptr;
+  std::vector<Event*> static_events_;
+};
+
+class MethodProcess final : public Process {
+ public:
+  MethodProcess(Kernel& kernel, std::string name, std::function<void()> fn);
+
+ private:
+  void execute() override;
+
+  std::function<void()> fn_;
+};
+
+class ThreadProcess final : public Process {
+ public:
+  ThreadProcess(Kernel& kernel, std::string name, std::function<void()> fn,
+                std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  /// --- blocking waits; callable only from inside this thread process ---
+  /// (exposed through the free functions in kernel.hpp)
+
+ private:
+  friend class Kernel;
+  void execute() override;
+
+  /// Dynamic wait helpers used by the free wait() functions.
+  void wait_on_event(Event& event);
+  Event* wait_on_any(std::initializer_list<Event*> events);
+  bool wait_on_event_timeout(Event& event, SimTime timeout);
+  void wait_for(SimTime delay);
+  void wait_static();
+
+  friend void wait(Event&);
+  friend void wait(SimTime);
+  friend void wait();
+  friend Event* wait_any(std::initializer_list<Event*>);
+  friend bool wait_with_timeout(Event&, SimTime);
+
+  std::function<void()> fn_;
+  Fiber fiber_;
+  Event timeout_event_;
+};
+
+/// Suspends the current thread process until `event` fires.
+void wait(Event& event);
+/// Suspends the current thread process for `delay` time units.
+void wait(SimTime delay);
+/// Suspends the current thread process until any statically sensitive event.
+void wait();
+/// Suspends until the FIRST of `events` fires; returns which one
+/// (sc_event_or_list equivalent). Registrations on the losers go stale and
+/// are discarded on their next trigger.
+Event* wait_any(std::initializer_list<Event*> events);
+/// Suspends until `event` fires or `timeout` time units pass; false on
+/// timeout.
+bool wait_with_timeout(Event& event, SimTime timeout);
+
+/// The thread process currently executing, or nullptr (e.g. in a method).
+[[nodiscard]] ThreadProcess* current_thread_process();
+
+}  // namespace vhp::sim

@@ -1,0 +1,117 @@
+// Signals (sc_signal equivalent): delta-delayed single-driver channels.
+//
+// A write stores the next value and requests an update; the kernel applies
+// updates after the evaluation phase, and only a real value change notifies
+// the value-changed (and, for bool, posedge/negedge) events in the next
+// delta cycle. This evaluate/update split is what makes zero-delay feedback
+// loops in the HDL model well defined.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vhp/sim/event.hpp"
+#include "vhp/sim/time.hpp"
+
+namespace vhp::sim {
+
+class Kernel;
+
+class SignalBase {
+ public:
+  SignalBase(Kernel& kernel, std::string name);
+  virtual ~SignalBase();
+
+  SignalBase(const SignalBase&) = delete;
+  SignalBase& operator=(const SignalBase&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Kernel& kernel() const { return kernel_; }
+  [[nodiscard]] Event& value_changed_event() { return changed_; }
+
+  /// Tracing hook, invoked in the update phase after the value changed.
+  void add_change_hook(std::function<void(SimTime)> hook) {
+    change_hooks_.push_back(std::move(hook));
+  }
+
+ protected:
+  friend class Kernel;
+
+  /// Applies the pending value; called by the kernel in the update phase.
+  virtual void update() = 0;
+
+  void request_update();
+  /// Called by concrete signals from update() after a REAL value change.
+  void notify_change_hooks();
+
+  Kernel& kernel_;
+  std::string name_;
+  Event changed_;
+  bool update_requested_ = false;
+  std::vector<std::function<void(SimTime)>> change_hooks_;
+};
+
+template <typename T>
+class Signal : public SignalBase {
+ public:
+  Signal(Kernel& kernel, std::string name, T init = T{})
+      : SignalBase(kernel, std::move(name)), cur_(init), next_(init) {}
+
+  [[nodiscard]] const T& read() const { return cur_; }
+
+  void write(const T& value) {
+    next_ = value;
+    request_update();
+  }
+
+ protected:
+  void update() override {
+    if (next_ == cur_) return;
+    cur_ = next_;
+    changed_.notify_delta();
+    this->notify_change_hooks();
+    this->on_changed();
+  }
+
+  /// Extension point for the bool specialization's edge events.
+  virtual void on_changed() {}
+
+  T cur_;
+  T next_;
+};
+
+/// Boolean signal with edge events (the sc_signal<bool> special case).
+class BoolSignal : public Signal<bool> {
+ public:
+  BoolSignal(Kernel& kernel, std::string name, bool init = false);
+
+  [[nodiscard]] Event& posedge_event() { return posedge_; }
+  [[nodiscard]] Event& negedge_event() { return negedge_; }
+
+ protected:
+  void on_changed() override;
+
+ private:
+  Event posedge_;
+  Event negedge_;
+};
+
+/// Free-running clock generator: a BoolSignal toggled by the kernel.
+/// Posedge at start_time, start_time + period, ...; negedge half a period
+/// after each posedge.
+class Clock : public BoolSignal {
+ public:
+  Clock(Kernel& kernel, std::string name, SimTime period,
+        SimTime start_time = 0);
+
+  [[nodiscard]] SimTime period() const { return period_; }
+
+ private:
+  void toggle();
+
+  SimTime period_;
+  Event tick_;
+};
+
+}  // namespace vhp::sim

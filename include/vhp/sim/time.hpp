@@ -1,0 +1,19 @@
+// Simulation time base.
+//
+// The kernel advances an abstract integer time; a Clock maps it to HW clock
+// cycles (the paper's co-simulation synchronizes on clock cycles, so the
+// default convention throughout this repo is: one clock period = 2 time
+// units, posedge on even units).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vhp::sim {
+
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::max();
+
+}  // namespace vhp::sim

@@ -1,0 +1,75 @@
+// VCD (Value Change Dump) trace writer.
+//
+// The paper's flow relies on inspecting the HDL model "with the precision of
+// the target hardware simulator"; dumping a VCD that any waveform viewer
+// opens is the concrete form of that. Signals are sampled through the
+// SignalBase change hooks, so tracing never perturbs scheduling.
+#pragma once
+
+#include <concepts>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "vhp/common/types.hpp"
+#include "vhp/sim/signal.hpp"
+
+namespace vhp::sim {
+
+class VcdWriter {
+ public:
+  /// Opens `path` and writes the VCD header on first flush.
+  VcdWriter(Kernel& kernel, const std::string& path);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Traces a bool signal as a 1-bit wire.
+  void trace(Signal<bool>& signal, const std::string& name);
+
+  /// Traces an unsigned integral signal as an n-bit vector.
+  template <std::unsigned_integral T>
+  void trace(Signal<T>& signal, const std::string& name) {
+    const std::string id = add_var(name, sizeof(T) * 8);
+    Signal<T>* sig = &signal;
+    signal.add_change_hook([this, sig, id](SimTime t) {
+      record_vector(t, id, static_cast<u64>(sig->read()), sizeof(T) * 8);
+    });
+    initial_vectors_.push_back(
+        {id, static_cast<u64>(signal.read()), sizeof(T) * 8});
+  }
+
+  /// Finalizes the file (also done by the destructor).
+  void close();
+
+ private:
+  std::string add_var(const std::string& name, unsigned width);
+  void write_header();
+  void advance_time(SimTime t);
+  void record_scalar(SimTime t, const std::string& id, bool value);
+  void record_vector(SimTime t, const std::string& id, u64 value,
+                     unsigned width);
+
+  struct InitialScalar {
+    std::string id;
+    bool value;
+  };
+  struct InitialVector {
+    std::string id;
+    u64 value;
+    unsigned width;
+  };
+
+  Kernel& kernel_;
+  std::ofstream out_;
+  std::vector<std::string> declarations_;
+  std::vector<InitialScalar> initial_scalars_;
+  std::vector<InitialVector> initial_vectors_;
+  unsigned next_id_ = 0;
+  bool header_written_ = false;
+  SimTime last_time_ = 0;
+  bool any_change_ = false;
+};
+
+}  // namespace vhp::sim

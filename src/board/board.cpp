@@ -1,0 +1,216 @@
+#include "vhp/board/board.hpp"
+
+#include <cassert>
+
+#include "vhp/common/format.hpp"
+#include "vhp/net/message.hpp"
+
+namespace vhp::board {
+
+namespace {
+
+/// Devtab adapter: applications talk to the simulated HW through the
+/// standard driver interface; this forwards to the board's link plumbing.
+class RemoteDevice final : public rtos::Device {
+ public:
+  explicit RemoteDevice(Board& board) : board_(board) {}
+
+  Result<Bytes> read(u32 address, u32 max_bytes) override {
+    return board_.dev_read(address, max_bytes);
+  }
+
+  Status write(u32 address, std::span<const u8> data) override {
+    return board_.dev_write(address, data);
+  }
+
+ private:
+  Board& board_;
+};
+
+rtos::KernelConfig apply_mode(rtos::KernelConfig cfg, bool free_running) {
+  cfg.budget_mode = !free_running;
+  return cfg;
+}
+
+}  // namespace
+
+Board::Board(BoardConfig config, net::CosimLink link)
+    : config_(config), link_(std::move(link)),
+      kernel_(apply_mode(config.rtos, config.free_running)) {
+  data_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.data, "data");
+  int_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.intr, "int");
+  clock_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.clock, "clock");
+
+  (void)devtab_.register_device(kDeviceName,
+                                std::make_unique<RemoteDevice>(*this));
+
+  // The device interrupt: minimal ISR, work deferred to the DSR — which by
+  // design runs at scheduler-safe points and typically just wakes the
+  // driver/application thread.
+  kernel_.interrupts().attach(
+      kDeviceVector,
+      rtos::InterruptHandler{
+          [](u32) { return rtos::IsrResult::kCallDsr; },
+          [this](u32 vector) {
+            if (device_dsr_) device_dsr_(vector);
+          }});
+
+  // Freeze: the OS just entered the idle state; report our tick (TIME_ACK).
+  kernel_.set_freeze_callback([this](SwTicks tick) {
+    ++stats_.acks_sent;
+    Status s = net::send_msg(*link_.clock, net::TimeAck{tick.value()});
+    if (!s.ok()) log_.warn("TIME_ACK send failed: {}", s.to_string());
+  });
+
+  // Idle: keep the sockets alive (the paper's idle-state duty).
+  kernel_.set_idle_poll([this] { idle_poll(); });
+}
+
+Board::~Board() { link_.close_all(); }
+
+void Board::idle_poll() {
+  bool any = false;
+  any |= data_rx_->poll();
+  any |= int_rx_->poll();
+  any |= clock_rx_->poll();
+  if (any) {
+    pacer_.reset();
+  } else {
+    pacer_.pause();
+  }
+}
+
+Result<Bytes> Board::dev_read(u32 addr, u32 nbytes) {
+  rtos::MutexLock lock(data_mutex_);
+  ++stats_.dev_reads;
+  if (config_.dev_read_cost > 0) kernel_.consume(config_.dev_read_cost);
+  Status s = net::send_msg(*link_.data, net::DataReadReq{addr, nbytes});
+  if (!s.ok()) return s;
+  for (;;) {
+    auto frame = data_rx_->recv();
+    if (!frame.has_value()) {
+      return Status{StatusCode::kAborted, "DATA channel closed mid-read"};
+    }
+    auto msg = net::decode(*frame);
+    if (!msg.ok()) return msg.status();
+    auto* resp = std::get_if<net::DataReadResp>(&msg.value());
+    if (resp == nullptr) {
+      log_.warn("unexpected {} on DATA port, dropped",
+                net::to_string(net::type_of(msg.value())));
+      continue;
+    }
+    if (resp->address != addr) {
+      log_.warn("DATA response address mismatch: got {}, want {}",
+                resp->address, addr);
+      continue;
+    }
+    return std::move(resp->data);
+  }
+}
+
+Status Board::dev_write(u32 addr, std::span<const u8> data) {
+  ++stats_.dev_writes;
+  if (config_.dev_write_cost > 0) kernel_.consume(config_.dev_write_cost);
+  return net::send_msg(*link_.data,
+                       net::DataWrite{addr, Bytes{data.begin(), data.end()}});
+}
+
+void Board::attach_device_dsr(std::function<void(u32)> dsr) {
+  device_dsr_ = std::move(dsr);
+}
+
+void Board::attach_interrupt(u32 vector, std::function<void(u32)> dsr) {
+  kernel_.interrupts().attach(
+      vector, rtos::InterruptHandler{
+                  [](u32) { return rtos::IsrResult::kCallDsr; },
+                  std::move(dsr)});
+}
+
+rtos::Thread& Board::spawn_app(std::string name, int priority,
+                               rtos::Thread::Entry entry,
+                               std::size_t stack_bytes) {
+  assert(priority > config_.comm_priority &&
+         "application threads must run below the communication threads");
+  return kernel_.spawn(std::move(name), priority, std::move(entry),
+                       stack_bytes);
+}
+
+void Board::systemc_thread_body() {
+  for (;;) {
+    auto frame = clock_rx_->recv();
+    if (!frame.has_value()) {
+      log_.debug("CLOCK channel closed; shutting down");
+      kernel_.shutdown();
+      return;
+    }
+    auto msg = net::decode(*frame);
+    if (!msg.ok()) {
+      log_.warn("bad CLOCK frame: {}", msg.status().to_string());
+      continue;
+    }
+    if (const auto* tick = std::get_if<net::ClockTick>(&msg.value())) {
+      ++stats_.clock_ticks_received;
+      kernel_.grant_cycles(static_cast<u64>(tick->n_ticks) *
+                           config_.cycles_per_sim_cycle);
+      continue;
+    }
+    if (std::holds_alternative<net::Shutdown>(msg.value())) {
+      log_.debug("SHUTDOWN received at tick {}", kernel_.tick_count().value());
+      kernel_.shutdown();
+      return;
+    }
+    log_.warn("unexpected {} on CLOCK port",
+              net::to_string(net::type_of(msg.value())));
+  }
+}
+
+void Board::channel_thread_body() {
+  for (;;) {
+    auto frame = int_rx_->recv();
+    if (!frame.has_value()) return;  // link down; systemc thread shuts down
+    auto msg = net::decode(*frame);
+    if (!msg.ok()) {
+      log_.warn("bad INT frame: {}", msg.status().to_string());
+      continue;
+    }
+    if (const auto* irq = std::get_if<net::IntRaise>(&msg.value())) {
+      ++stats_.interrupts_received;
+      kernel_.interrupts().raise(irq->vector);
+    } else {
+      log_.warn("unexpected {} on INT port",
+                net::to_string(net::type_of(msg.value())));
+    }
+  }
+}
+
+void Board::run() {
+  assert(!booted_ && "Board::run() called twice");
+  booted_ = true;
+  auto& sysc = kernel_.spawn("systemc", config_.comm_priority,
+                             [this] { systemc_thread_body(); });
+  sysc.set_comm_thread(true);
+  auto& chan = kernel_.spawn("channel", config_.comm_priority,
+                             [this] { channel_thread_body(); });
+  chan.set_comm_thread(true);
+  log_.debug("board booted (budget_mode={})", kernel_.budget_mode());
+  kernel_.run();
+  log_.debug("board halted at tick {} after {} context switches",
+             kernel_.tick_count().value(), kernel_.stats().context_switches);
+}
+
+BoardHost::BoardHost(BoardConfig config, net::CosimLink link)
+    : board_(config, std::move(link)) {}
+
+BoardHost::~BoardHost() { join(); }
+
+void BoardHost::start() {
+  assert(!started_);
+  started_ = true;
+  thread_ = std::thread([this] { board_.run(); });
+}
+
+void BoardHost::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace vhp::board

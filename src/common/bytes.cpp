@@ -1,0 +1,21 @@
+#include "vhp/common/bytes.hpp"
+
+#include "vhp/common/format.hpp"
+
+namespace vhp {
+
+std::string hex_dump(std::span<const u8> data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n * 3 + 8);
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  if (data.size() > n) out += vhp::strformat(" ...(+{})", data.size() - n);
+  return out;
+}
+
+}  // namespace vhp

@@ -1,0 +1,48 @@
+#include "vhp/common/checksum.hpp"
+
+#include <array>
+
+namespace vhp {
+
+u16 internet_checksum(std::span<const u8> data) {
+  // One's-complement sum of 16-bit big-endian words, odd byte padded with 0.
+  u32 sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<u32>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<u32>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffffu) + (sum >> 16);
+  return static_cast<u16>(~sum & 0xffffu);
+}
+
+bool internet_checksum_ok(std::span<const u8> data) {
+  // A buffer with a correct embedded checksum sums (uncomplemented) to
+  // 0xFFFF, i.e. internet_checksum() of it is 0.
+  return internet_checksum(data) == 0;
+}
+
+namespace {
+
+std::array<u32, 256> make_crc32_table() {
+  std::array<u32, 256> table{};
+  for (u32 n = 0; n < 256; ++n) {
+    u32 c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+u32 crc32(std::span<const u8> data) {
+  static const std::array<u32, 256> table = make_crc32_table();
+  u32 c = 0xffffffffu;
+  for (u8 b : data) c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace vhp

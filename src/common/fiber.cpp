@@ -1,0 +1,100 @@
+#include "vhp/common/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdint>
+#include <system_error>
+
+namespace vhp {
+namespace {
+
+thread_local Fiber* tls_current_fiber = nullptr;
+
+std::size_t page_size() {
+  static const auto sz = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return sz;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes) : fn_(std::move(fn)) {
+  assert(fn_ && "fiber needs a function");
+  const std::size_t ps = page_size();
+  const std::size_t usable = round_up(stack_bytes, ps);
+  mapping_size_ = usable + ps;  // + guard page at the low end
+  mapping_ = ::mmap(nullptr, mapping_size_, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (mapping_ == MAP_FAILED) {
+    throw std::system_error(errno, std::generic_category(), "fiber stack mmap");
+  }
+  if (::mprotect(mapping_, ps, PROT_NONE) != 0) {
+    ::munmap(mapping_, mapping_size_);
+    throw std::system_error(errno, std::generic_category(), "fiber guard page");
+  }
+  ::getcontext(&ctx_);
+  ctx_.uc_stack.ss_sp = static_cast<char*>(mapping_) + ps;
+  ctx_.uc_stack.ss_size = usable;
+  ctx_.uc_link = nullptr;  // function return is handled in the trampoline
+  // makecontext only passes ints; smuggle the pointer through two halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended fiber is legal (an RTOS tears down blocked
+  // threads at shutdown) but skips destructors of objects live on the
+  // fiber's stack; fiber entry functions must not own resources across
+  // suspension points that outlive the owning subsystem.
+  if (mapping_ != nullptr) ::munmap(mapping_, mapping_size_);
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  self->run_body();
+}
+
+void Fiber::run_body() {
+  try {
+    fn_();
+  } catch (...) {
+    exception_ = std::current_exception();
+  }
+  finished_ = true;
+  // Return control to the last resumer; this context is never resumed again.
+  ::swapcontext(&ctx_, &resumer_);
+  assert(false && "resumed a finished fiber");
+}
+
+void Fiber::resume() {
+  assert(!finished_ && "cannot resume a finished fiber");
+  assert(tls_current_fiber != this && "fiber cannot resume itself");
+  Fiber* prev = tls_current_fiber;
+  tls_current_fiber = this;
+  started_ = true;
+  ::swapcontext(&resumer_, &ctx_);
+  tls_current_fiber = prev;
+  if (finished_ && exception_ != nullptr) {
+    std::exception_ptr ex = exception_;
+    exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::yield_to_resumer() {
+  Fiber* self = tls_current_fiber;
+  assert(self != nullptr && "yield_to_resumer outside any fiber");
+  ::swapcontext(&self->ctx_, &self->resumer_);
+}
+
+Fiber* Fiber::current() { return tls_current_fiber; }
+
+}  // namespace vhp

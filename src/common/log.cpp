@@ -1,0 +1,62 @@
+#include "vhp/common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace vhp::log_detail {
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("VHP_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& threshold_storage() {
+  static std::atomic<LogLevel> level{parse_env_level()};
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel threshold() { return threshold_storage().load(std::memory_order_relaxed); }
+
+void set_threshold(LogLevel level) {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+void emit(LogLevel level, std::string_view component, std::string_view text) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  static std::mutex mu;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - start)
+                      .count();
+  std::scoped_lock lock(mu);
+  std::fprintf(stderr, "[%10.6f] %s %-6.*s %.*s\n",
+               static_cast<double>(us) * 1e-6, level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(text.size()), text.data());
+}
+
+}  // namespace vhp::log_detail

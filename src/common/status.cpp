@@ -1,0 +1,31 @@
+#include "vhp/common/status.hpp"
+
+namespace vhp {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string s{vhp::to_string(code_)};
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace vhp

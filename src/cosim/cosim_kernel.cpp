@@ -1,0 +1,138 @@
+#include "vhp/cosim/cosim_kernel.hpp"
+
+#include <thread>
+
+#include "vhp/common/format.hpp"
+
+namespace vhp::cosim {
+
+CosimKernel::CosimKernel(net::CosimLink link, CosimConfig config)
+    : link_(std::move(link)), config_(config),
+      clock_(kernel_, "clk", config.clock_period) {}
+
+CosimKernel::~CosimKernel() { finish(); }
+
+void CosimKernel::watch_interrupt(sim::BoolSignal& line, u32 vector) {
+  watches_.push_back(IntWatch{&line, vector, line.read()});
+}
+
+Status CosimKernel::handshake(
+    std::optional<std::chrono::milliseconds> timeout) {
+  if (!config_.timed || handshaken_) return Status::Ok();
+  // The board reports its initial freeze with a TIME_ACK; data traffic is
+  // not expected before it (the device driver has nothing to talk to yet).
+  auto msg = net::recv_msg(*link_.clock, timeout);
+  if (!msg.ok()) return msg.status();
+  if (!std::holds_alternative<net::TimeAck>(msg.value())) {
+    return Status{StatusCode::kInternal,
+                  strformat("expected initial TIME_ACK, got {}",
+                            net::to_string(net::type_of(msg.value())))};
+  }
+  handshaken_ = true;
+  log_.debug("handshake complete, board frozen at tick {}",
+             std::get<net::TimeAck>(msg.value()).board_tick);
+  return Status::Ok();
+}
+
+Status CosimKernel::service_data_port() {
+  for (;;) {
+    auto msg = net::try_recv_msg(*link_.data);
+    if (!msg.ok()) {
+      // A vanished peer mid-run is a session error; surface it.
+      return msg.status();
+    }
+    if (!msg.value().has_value()) return Status::Ok();
+    Status s = handle_data_msg(*msg.value());
+    if (!s.ok()) return s;
+  }
+}
+
+Status CosimKernel::handle_data_msg(const net::Message& msg) {
+  if (const auto* wr = std::get_if<net::DataWrite>(&msg)) {
+    ++stats_.data_writes;
+    return registry_.deliver_write(wr->address, wr->data);
+  }
+  if (const auto* rd = std::get_if<net::DataReadReq>(&msg)) {
+    ++stats_.data_reads;
+    auto data = registry_.serve_read(rd->address, rd->nbytes);
+    if (!data.ok()) return data.status();
+    return net::send_msg(*link_.data,
+                         net::DataReadResp{rd->address,
+                                           std::move(data).value()});
+  }
+  return Status{StatusCode::kInvalidArgument,
+                strformat("unexpected {} on DATA port",
+                          net::to_string(net::type_of(msg)))};
+}
+
+Status CosimKernel::sample_interrupts() {
+  for (auto& watch : watches_) {
+    const bool level = watch.line->read();
+    if (level && !watch.prev) {
+      ++stats_.interrupts_sent;
+      Status s = net::send_msg(*link_.intr, net::IntRaise{watch.vector});
+      if (!s.ok()) return s;
+    }
+    watch.prev = level;
+  }
+  return Status::Ok();
+}
+
+Status CosimKernel::sync_with_board() {
+  ++stats_.syncs;
+  Status s = net::send_msg(
+      *link_.clock, net::ClockTick{cycle_, static_cast<u32>(config_.t_sync)});
+  if (!s.ok()) return s;
+  // Wait for the ack; keep the DATA port alive so a board thread blocked on
+  // a device read mid-quantum still gets its response (deadlock freedom).
+  for (;;) {
+    auto ack = net::try_recv_msg(*link_.clock);
+    if (!ack.ok()) return ack.status();
+    if (ack.value().has_value()) {
+      if (!std::holds_alternative<net::TimeAck>(*ack.value())) {
+        return Status{StatusCode::kInternal,
+                      strformat("expected TIME_ACK, got {}",
+                                net::to_string(net::type_of(*ack.value())))};
+      }
+      ++stats_.acks_received;
+      return Status::Ok();
+    }
+    Status data = service_data_port();
+    if (!data.ok()) return data;
+    std::this_thread::yield();
+  }
+}
+
+Status CosimKernel::run_cycles(u64 cycles) {
+  if (config_.timed && !handshaken_) {
+    Status s = handshake();
+    if (!s.ok()) return s;
+  }
+  for (u64 i = 0; i < cycles; ++i) {
+    Status s = Status::Ok();
+    if (config_.data_poll_interval <= 1 ||
+        cycle_ % config_.data_poll_interval == 0) {
+      s = service_data_port();
+      if (!s.ok()) return s;
+    }
+    kernel_.run(config_.clock_period);  // one posedge + negedge
+    ++cycle_;
+    s = sample_interrupts();
+    if (!s.ok()) return s;
+    if (config_.timed && cycle_ % config_.t_sync == 0) {
+      s = sync_with_board();
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+void CosimKernel::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (config_.shutdown_on_finish && link_.clock) {
+    (void)net::send_msg(*link_.clock, net::Shutdown{});
+  }
+}
+
+}  // namespace vhp::cosim

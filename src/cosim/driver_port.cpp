@@ -1,0 +1,39 @@
+#include "vhp/cosim/driver_port.hpp"
+
+#include "vhp/common/format.hpp"
+
+namespace vhp::cosim {
+
+void DriverRegistry::register_write(u32 address, WriteHandler handler) {
+  endpoints_[address].write = std::move(handler);
+}
+
+void DriverRegistry::register_read(u32 address, ReadHandler handler) {
+  endpoints_[address].read = std::move(handler);
+}
+
+void DriverRegistry::unregister(u32 address) { endpoints_.erase(address); }
+
+Status DriverRegistry::deliver_write(u32 address, std::span<const u8> data) {
+  auto it = endpoints_.find(address);
+  if (it == endpoints_.end() || !it->second.write) {
+    return Status{StatusCode::kNotFound,
+                  strformat("driver write to unmapped address {}", address)};
+  }
+  ++writes_;
+  return it->second.write(data);
+}
+
+Result<Bytes> DriverRegistry::serve_read(u32 address, u32 max_bytes) {
+  auto it = endpoints_.find(address);
+  if (it == endpoints_.end() || !it->second.read) {
+    return Status{StatusCode::kNotFound,
+                  strformat("driver read of unmapped address {}", address)};
+  }
+  ++reads_;
+  Bytes data = it->second.read();
+  if (data.size() > max_bytes) data.resize(max_bytes);
+  return data;
+}
+
+}  // namespace vhp::cosim

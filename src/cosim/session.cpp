@@ -1,0 +1,63 @@
+#include "vhp/cosim/session.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "vhp/net/inproc.hpp"
+#include "vhp/net/latency.hpp"
+#include "vhp/net/tcp.hpp"
+
+namespace vhp::cosim {
+
+CosimSession::CosimSession(SessionConfig config) {
+  // Consistency: an untimed kernel must face a free-running board, or the
+  // board would freeze forever waiting for grants.
+  if (config.cosim.timed == config.board.free_running) {
+    throw std::invalid_argument(
+        "SessionConfig: cosim.timed and board.free_running must be opposite");
+  }
+  net::LinkPair pair;
+  if (config.transport == TransportKind::kInProc) {
+    pair = net::make_inproc_link_pair();
+  } else {
+    net::TcpLinkListener listener;
+    const auto ports = listener.ports();
+    Result<net::CosimLink> board_link =
+        Status{StatusCode::kInternal, "unset"};
+    std::thread connector(
+        [&] { board_link = net::connect_tcp_link(ports); });
+    auto hw_link = listener.accept_link();
+    connector.join();
+    if (!hw_link.ok()) {
+      throw std::runtime_error("TCP accept failed: " +
+                               hw_link.status().to_string());
+    }
+    if (!board_link.ok()) {
+      throw std::runtime_error("TCP connect failed: " +
+                               board_link.status().to_string());
+    }
+    pair.hw = std::move(hw_link).value();
+    pair.board = std::move(board_link).value();
+  }
+  pair = net::emulate_latency(std::move(pair), config.link_emulation);
+  hw_ = std::make_unique<CosimKernel>(std::move(pair.hw), config.cosim);
+  host_ = std::make_unique<board::BoardHost>(config.board,
+                                             std::move(pair.board));
+}
+
+CosimSession::~CosimSession() { finish(); }
+
+void CosimSession::start_board() {
+  if (started_) return;
+  started_ = true;
+  host_->start();
+}
+
+void CosimSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  hw_->finish();  // SHUTDOWN -> board run loop exits
+  if (started_) host_->join();
+}
+
+}  // namespace vhp::cosim

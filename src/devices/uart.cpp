@@ -1,0 +1,186 @@
+#include "vhp/devices/uart.hpp"
+
+namespace vhp::devices {
+
+UartModel::UartModel(cosim::CosimKernel& hw, std::string name, Config config)
+    : Module(hw.kernel(), std::move(name)),
+      period_(hw.config().clock_period),
+      divisor_(config.default_divisor),
+      fifo_depth_(config.fifo_depth),
+      tx_(make_bool_signal("tx", true)),   // serial lines idle high
+      rx_(make_bool_signal("rx", true)),
+      irq_(make_bool_signal("irq", false)),
+      tx_pending_(hw.kernel(), qualify("tx_pending")) {
+  auto& reg = hw.registry();
+  const u32 base = config.base;
+
+  reg.register_write(base + kTxData, [this](std::span<const u8> data) {
+    if (data.empty()) {
+      return Status{StatusCode::kInvalidArgument, "empty TXDATA write"};
+    }
+    if (tx_fifo_.size() >= fifo_depth_) {
+      ++stats_.tx_overflows;
+      return Status::Ok();  // HW drops silently; SW must watch TX_FULL
+    }
+    tx_fifo_.push_back(data[0]);
+    tx_pending_.notify_delta();
+    return Status::Ok();
+  });
+  reg.register_read(base + kStatus, [this] {
+    return cosim::DriverCodec<u32>::encode(status_word());
+  });
+  reg.register_read(base + kRxData, [this] {
+    u8 byte = 0;
+    if (!rx_fifo_.empty()) {
+      byte = rx_fifo_.front();
+      rx_fifo_.pop_front();
+    }
+    return cosim::DriverCodec<u32>::encode(byte);
+  });
+  reg.register_write(base + kDivisor, [this](std::span<const u8> data) {
+    u32 v = 0;
+    if (!cosim::DriverCodec<u32>::decode(data, v) || v == 0) {
+      return Status{StatusCode::kInvalidArgument, "bad DIVISOR"};
+    }
+    divisor_ = v;
+    return Status::Ok();
+  });
+
+  thread("tx", [this] { tx_loop(); });
+  thread("rx", [this] { rx_loop(); });
+}
+
+u32 UartModel::status_word() const {
+  u32 s = 0;
+  if (tx_shifting_ || !tx_fifo_.empty()) s |= kStatusTxBusy;
+  if (!rx_fifo_.empty()) s |= kStatusRxAvail;
+  if (tx_fifo_.size() >= fifo_depth_) s |= kStatusTxFull;
+  return s;
+}
+
+void UartModel::tx_loop() {
+  for (;;) {
+    while (tx_fifo_.empty()) sim::wait(tx_pending_);
+    const u8 byte = tx_fifo_.front();
+    tx_fifo_.pop_front();
+    tx_shifting_ = true;
+    const sim::SimTime bit = divisor_ * period_;
+    tx_.write(false);  // start bit
+    sim::wait(bit);
+    for (int i = 0; i < 8; ++i) {
+      tx_.write(((byte >> i) & 1) != 0);
+      sim::wait(bit);
+    }
+    tx_.write(true);  // stop bit
+    sim::wait(bit);
+    tx_shifting_ = false;
+    ++stats_.bytes_tx;
+  }
+}
+
+void UartModel::rx_loop() {
+  for (;;) {
+    if (rx_.read()) sim::wait(rx_.negedge_event());
+    const sim::SimTime bit = divisor_ * period_;
+    // Half a bit in: the middle of the start bit.
+    sim::wait(bit / 2);
+    if (rx_.read()) {
+      ++stats_.framing_errors;  // glitch, not a real start bit
+      continue;
+    }
+    u8 byte = 0;
+    for (int i = 0; i < 8; ++i) {
+      sim::wait(bit);
+      if (rx_.read()) byte |= static_cast<u8>(1u << i);
+    }
+    sim::wait(bit);  // middle of stop bit
+    if (!rx_.read()) {
+      ++stats_.framing_errors;
+      continue;
+    }
+    if (rx_fifo_.size() >= fifo_depth_) {
+      ++stats_.rx_overflows;
+    } else {
+      rx_fifo_.push_back(byte);
+      ++stats_.bytes_rx;
+      irq_.write(true);
+      sim::wait(2 * period_);
+      irq_.write(false);
+    }
+  }
+}
+
+SerialSniffer::SerialSniffer(sim::Kernel& kernel, std::string name,
+                             sim::BoolSignal& line, u32 divisor,
+                             sim::SimTime clock_period)
+    : Module(kernel, std::move(name)), line_(line), divisor_(divisor),
+      period_(clock_period) {
+  thread("sniff", [this] { sniff_loop(); });
+}
+
+void SerialSniffer::sniff_loop() {
+  const sim::SimTime bit = divisor_ * period_;
+  for (;;) {
+    if (line_.read()) sim::wait(line_.negedge_event());
+    sim::wait(bit / 2);
+    if (line_.read()) {
+      ++framing_errors_;
+      continue;
+    }
+    u8 byte = 0;
+    for (int i = 0; i < 8; ++i) {
+      sim::wait(bit);
+      if (line_.read()) byte |= static_cast<u8>(1u << i);
+    }
+    sim::wait(bit);
+    if (!line_.read()) {
+      ++framing_errors_;
+      continue;
+    }
+    received_.push_back(byte);
+  }
+}
+
+SerialDriver::SerialDriver(sim::Kernel& kernel, std::string name,
+                           sim::BoolSignal& line, u32 divisor,
+                           sim::SimTime clock_period, u32 gap_bits)
+    : Module(kernel, std::move(name)), line_(line), divisor_(divisor),
+      period_(clock_period), gap_bits_(gap_bits),
+      enqueued_(kernel, qualify("enqueued")) {
+  thread("drive", [this] { drive_loop(); });
+}
+
+void SerialDriver::queue(std::span<const u8> bytes) {
+  pending_.insert(pending_.end(), bytes.begin(), bytes.end());
+  enqueued_.notify_delta();
+}
+
+void SerialDriver::queue_text(std::string_view text) {
+  queue(std::span{reinterpret_cast<const u8*>(text.data()), text.size()});
+}
+
+void SerialDriver::drive_loop() {
+  const sim::SimTime bit = divisor_ * period_;
+  line_.write(true);  // idle
+  sim::wait(2 * bit); // line settle
+  for (;;) {
+    while (pending_.empty()) sim::wait(enqueued_);
+    const u8 byte = pending_.front();
+    pending_.pop_front();
+    shifting_ = true;
+    line_.write(false);
+    sim::wait(bit);
+    for (int i = 0; i < 8; ++i) {
+      line_.write(((byte >> i) & 1) != 0);
+      sim::wait(bit);
+    }
+    line_.write(true);
+    sim::wait(bit);
+    // Idle bits between frames: keeps edges unambiguous and models the
+    // sender's own pace (a human terminal is far slower than the line).
+    sim::wait(std::max<u32>(gap_bits_, 1) * bit);
+    shifting_ = false;
+  }
+}
+
+}  // namespace vhp::devices

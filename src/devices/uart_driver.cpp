@@ -1,0 +1,68 @@
+#include "vhp/devices/uart_driver.hpp"
+
+namespace vhp::devices {
+
+UartDriver::UartDriver(board::Board& board, UartDriverConfig config)
+    : board_(board), config_(config), rx_avail_(board.kernel(), 0) {
+  auto dsr = [this](u32) { rx_avail_.post(); };
+  if (config_.irq_vector == board::Board::kDeviceVector) {
+    board_.attach_device_dsr(dsr);
+  } else {
+    board_.attach_interrupt(config_.irq_vector, dsr);
+  }
+}
+
+Result<u32> UartDriver::read_reg(u32 offset) {
+  board_.kernel().consume(config_.reg_access_cost);
+  auto raw = board_.dev_read(config_.base + offset, 4);
+  if (!raw.ok()) return raw.status();
+  u32 v = 0;
+  if (!cosim::DriverCodec<u32>::decode(raw.value(), v)) {
+    return Status{StatusCode::kInternal, "short UART register read"};
+  }
+  return v;
+}
+
+Status UartDriver::write_reg(u32 offset, u32 value) {
+  board_.kernel().consume(config_.reg_access_cost);
+  return board_.dev_write(config_.base + offset,
+                          cosim::DriverCodec<u32>::encode(value));
+}
+
+Status UartDriver::write_text(std::string_view text) {
+  for (const char c : text) {
+    for (;;) {
+      auto status = read_reg(UartModel::kStatus);
+      if (!status.ok()) return status.status();
+      if ((status.value() & UartModel::kStatusTxFull) == 0) break;
+      board_.kernel().delay(SwTicks{config_.tx_poll_ticks});
+    }
+    Status s = write_reg(UartModel::kTxData, static_cast<u8>(c));
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Result<u8> UartDriver::read_byte() {
+  rx_avail_.wait();
+  auto v = read_reg(UartModel::kRxData);
+  if (!v.ok()) return v.status();
+  return static_cast<u8>(v.value());
+}
+
+Result<std::string> UartDriver::read_line(std::size_t max_len) {
+  std::string line;
+  while (line.size() < max_len) {
+    auto byte = read_byte();
+    if (!byte.ok()) return byte.status();
+    line.push_back(static_cast<char>(byte.value()));
+    if (byte.value() == '\n') break;
+  }
+  return line;
+}
+
+Status UartDriver::set_divisor(u32 divisor) {
+  return write_reg(UartModel::kDivisor, divisor);
+}
+
+}  // namespace vhp::devices

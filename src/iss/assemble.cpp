@@ -1,0 +1,44 @@
+#include "vhp/iss/assemble.hpp"
+
+namespace vhp::iss {
+
+std::vector<u32> Asm::build() const {
+  // Element-wise copy: GCC 12's -O2 stringop-overflow checker reports a
+  // false positive on the vector copy constructor when this is inlined
+  // into callers with constant-looking sizes.
+  std::vector<u32> out;
+  out.reserve(words_.size());
+  for (const u32 w : words_) out.push_back(w);
+  for (const Fixup& fix : fixups_) {
+    assert(labels_[fix.label] != kUnbound && "jump to unbound label");
+    const i32 offset = static_cast<i32>(labels_[fix.label]) -
+                       static_cast<i32>(fix.word_index * 4);
+    u32& word = out[fix.word_index];
+    switch (fix.kind) {
+      case FixKind::kBranch: {
+        // Re-encode keeping opcode/registers/funct3 from the scaffold.
+        const u32 rs2 = (word >> 20) & 0x1f;
+        const u32 rs1 = (word >> 15) & 0x1f;
+        const u32 funct3 = (word >> 12) & 0x7;
+        word = enc::b_type(offset, rs2, rs1, funct3, 0x63);
+        break;
+      }
+      case FixKind::kJal: {
+        const u32 rd = (word >> 7) & 0x1f;
+        word = enc::j_type(offset, rd, 0x6f);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+u32 Asm::load_into(sim::Memory& mem, u32 base) const {
+  const std::vector<u32> program = build();
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    mem.write_u32(base + static_cast<u32>(i * 4), program[i]);
+  }
+  return base + static_cast<u32>(program.size() * 4);
+}
+
+}  // namespace vhp::iss

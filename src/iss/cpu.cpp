@@ -1,0 +1,259 @@
+#include "vhp/iss/cpu.hpp"
+
+namespace vhp::iss {
+
+namespace {
+
+// RV32 base opcodes.
+constexpr u32 kOpLui = 0x37;
+constexpr u32 kOpAuipc = 0x17;
+constexpr u32 kOpJal = 0x6f;
+constexpr u32 kOpJalr = 0x67;
+constexpr u32 kOpBranch = 0x63;
+constexpr u32 kOpLoad = 0x03;
+constexpr u32 kOpStore = 0x23;
+constexpr u32 kOpAluImm = 0x13;
+constexpr u32 kOpAluReg = 0x33;
+constexpr u32 kOpFence = 0x0f;
+constexpr u32 kOpSystem = 0x73;
+
+u32 imm_i(u32 ins) { return ins >> 20; }                       // 12 bits
+u32 imm_s(u32 ins) {
+  return ((ins >> 25) << 5) | ((ins >> 7) & 0x1f);
+}
+u32 imm_b(u32 ins) {
+  return (((ins >> 31) & 1u) << 12) | (((ins >> 7) & 1u) << 11) |
+         (((ins >> 25) & 0x3fu) << 5) | (((ins >> 8) & 0xfu) << 1);
+}
+u32 imm_u(u32 ins) { return ins & 0xfffff000u; }
+u32 imm_j(u32 ins) {
+  return (((ins >> 31) & 1u) << 20) | (((ins >> 12) & 0xffu) << 12) |
+         (((ins >> 20) & 1u) << 11) | (((ins >> 21) & 0x3ffu) << 1);
+}
+
+}  // namespace
+
+StepResult Cpu::step() {
+  StepResult result;
+  if ((pc_ & 3u) != 0) {
+    result.trap = TrapKind::kMisalignedFetch;
+    return result;
+  }
+  const u32 ins = bus_.load(pc_, 4);
+  result.instruction = ins;
+  const u32 opcode = ins & 0x7fu;
+  const unsigned rd = (ins >> 7) & 0x1fu;
+  const unsigned rs1 = (ins >> 15) & 0x1fu;
+  const unsigned rs2 = (ins >> 20) & 0x1fu;
+  const u32 funct3 = (ins >> 12) & 0x7u;
+  const u32 funct7 = ins >> 25;
+  u32 next_pc = pc_ + 4;
+
+  switch (opcode) {
+    case kOpLui:
+      set_reg(rd, imm_u(ins));
+      break;
+    case kOpAuipc:
+      set_reg(rd, pc_ + imm_u(ins));
+      break;
+    case kOpJal:
+      set_reg(rd, pc_ + 4);
+      next_pc = pc_ + static_cast<u32>(sext(imm_j(ins), 21));
+      result.cycles = 2;
+      break;
+    case kOpJalr: {
+      const u32 target =
+          (reg(rs1) + static_cast<u32>(sext(imm_i(ins), 12))) & ~1u;
+      set_reg(rd, pc_ + 4);
+      next_pc = target;
+      result.cycles = 2;
+      break;
+    }
+    case kOpBranch: {
+      const u32 a = reg(rs1);
+      const u32 b = reg(rs2);
+      bool taken = false;
+      switch (funct3) {
+        case 0: taken = a == b; break;                              // BEQ
+        case 1: taken = a != b; break;                              // BNE
+        case 4: taken = static_cast<i32>(a) < static_cast<i32>(b); break;
+        case 5: taken = static_cast<i32>(a) >= static_cast<i32>(b); break;
+        case 6: taken = a < b; break;                               // BLTU
+        case 7: taken = a >= b; break;                              // BGEU
+        default:
+          result.trap = TrapKind::kIllegalInstruction;
+          return result;
+      }
+      if (taken) {
+        next_pc = pc_ + static_cast<u32>(sext(imm_b(ins), 13));
+        result.cycles = 2;  // taken-branch penalty
+      }
+      break;
+    }
+    case kOpLoad: {
+      const u32 addr = reg(rs1) + static_cast<u32>(sext(imm_i(ins), 12));
+      u32 v = 0;
+      switch (funct3) {
+        case 0: v = static_cast<u32>(sext(bus_.load(addr, 1), 8)); break;
+        case 1: v = static_cast<u32>(sext(bus_.load(addr, 2), 16)); break;
+        case 2: v = bus_.load(addr, 4); break;
+        case 4: v = bus_.load(addr, 1); break;  // LBU
+        case 5: v = bus_.load(addr, 2); break;  // LHU
+        default:
+          result.trap = TrapKind::kIllegalInstruction;
+          return result;
+      }
+      set_reg(rd, v);
+      result.cycles = 2;  // memory access
+      break;
+    }
+    case kOpStore: {
+      const u32 addr = reg(rs1) + static_cast<u32>(sext(imm_s(ins), 12));
+      switch (funct3) {
+        case 0: bus_.store(addr, reg(rs2), 1); break;
+        case 1: bus_.store(addr, reg(rs2), 2); break;
+        case 2: bus_.store(addr, reg(rs2), 4); break;
+        default:
+          result.trap = TrapKind::kIllegalInstruction;
+          return result;
+      }
+      result.cycles = 2;
+      break;
+    }
+    case kOpAluImm: {
+      const u32 a = reg(rs1);
+      const u32 imm = static_cast<u32>(sext(imm_i(ins), 12));
+      u32 v = 0;
+      switch (funct3) {
+        case 0: v = a + imm; break;                                 // ADDI
+        case 2: v = static_cast<i32>(a) < static_cast<i32>(imm); break;
+        case 3: v = a < imm; break;                                 // SLTIU
+        case 4: v = a ^ imm; break;
+        case 6: v = a | imm; break;
+        case 7: v = a & imm; break;
+        case 1:                                                     // SLLI
+          if (funct7 != 0) {
+            result.trap = TrapKind::kIllegalInstruction;
+            return result;
+          }
+          v = a << (rs2 & 0x1f);
+          break;
+        case 5:                                                     // SR*I
+          if (funct7 == 0x20) {
+            v = static_cast<u32>(static_cast<i32>(a) >> (rs2 & 0x1f));
+          } else if (funct7 == 0) {
+            v = a >> (rs2 & 0x1f);
+          } else {
+            result.trap = TrapKind::kIllegalInstruction;
+            return result;
+          }
+          break;
+        default:
+          result.trap = TrapKind::kIllegalInstruction;
+          return result;
+      }
+      set_reg(rd, v);
+      break;
+    }
+    case kOpAluReg: {
+      const u32 a = reg(rs1);
+      const u32 b = reg(rs2);
+      u32 v = 0;
+      if (funct7 == 0x01) {  // M extension
+        switch (funct3) {
+          case 0: v = a * b; break;  // MUL
+          case 1:  // MULH
+            v = static_cast<u32>(
+                (static_cast<i64>(static_cast<i32>(a)) *
+                 static_cast<i64>(static_cast<i32>(b))) >> 32);
+            break;
+          case 2:  // MULHSU
+            v = static_cast<u32>(
+                (static_cast<i64>(static_cast<i32>(a)) *
+                 static_cast<i64>(static_cast<u64>(b))) >> 32);
+            break;
+          case 3:  // MULHU
+            v = static_cast<u32>(
+                (static_cast<u64>(a) * static_cast<u64>(b)) >> 32);
+            break;
+          case 4:  // DIV
+            if (b == 0) {
+              v = 0xffffffffu;
+            } else if (a == 0x80000000u && b == 0xffffffffu) {
+              v = 0x80000000u;
+            } else {
+              v = static_cast<u32>(static_cast<i32>(a) /
+                                   static_cast<i32>(b));
+            }
+            break;
+          case 5: v = (b == 0) ? a : a / b; break;  // DIVU... see below
+          case 6:  // REM
+            if (b == 0) {
+              v = a;
+            } else if (a == 0x80000000u && b == 0xffffffffu) {
+              v = 0;
+            } else {
+              v = static_cast<u32>(static_cast<i32>(a) %
+                                   static_cast<i32>(b));
+            }
+            break;
+          case 7: v = (b == 0) ? a : a % b; break;  // REMU
+          default:
+            result.trap = TrapKind::kIllegalInstruction;
+            return result;
+        }
+        // DIVU by zero must yield all-ones, not rs1.
+        if (funct3 == 5 && b == 0) v = 0xffffffffu;
+        result.cycles = (funct3 >= 4) ? 8 : 3;  // div slower than mul
+      } else if (funct7 == 0x00 || funct7 == 0x20) {
+        switch (funct3) {
+          case 0: v = (funct7 == 0x20) ? a - b : a + b; break;
+          case 1: v = a << (b & 0x1f); break;                       // SLL
+          case 2: v = static_cast<i32>(a) < static_cast<i32>(b); break;
+          case 3: v = a < b; break;                                 // SLTU
+          case 4: v = a ^ b; break;
+          case 5:                                                   // SRL/SRA
+            v = (funct7 == 0x20)
+                    ? static_cast<u32>(static_cast<i32>(a) >> (b & 0x1f))
+                    : a >> (b & 0x1f);
+            break;
+          case 6: v = a | b; break;
+          case 7: v = a & b; break;
+          default:
+            result.trap = TrapKind::kIllegalInstruction;
+            return result;
+        }
+        if ((funct7 == 0x20) && funct3 != 0 && funct3 != 5) {
+          result.trap = TrapKind::kIllegalInstruction;
+          return result;
+        }
+      } else {
+        result.trap = TrapKind::kIllegalInstruction;
+        return result;
+      }
+      set_reg(rd, v);
+      break;
+    }
+    case kOpFence:
+      break;  // single hart: FENCE/FENCE.I are no-ops
+    case kOpSystem:
+      if (ins == 0x00000073) {
+        result.trap = TrapKind::kEcall;
+      } else if (ins == 0x00100073) {
+        result.trap = TrapKind::kEbreak;
+      } else {
+        result.trap = TrapKind::kIllegalInstruction;
+        return result;
+      }
+      break;
+    default:
+      result.trap = TrapKind::kIllegalInstruction;
+      return result;
+  }
+
+  pc_ = next_pc;
+  ++retired_;
+  return result;
+}
+
+}  // namespace vhp::iss

@@ -1,0 +1,95 @@
+#include "vhp/iss/runner.hpp"
+
+namespace vhp::iss {
+
+IssRunner::IssRunner(board::Board& board, sim::Memory& ram,
+                     IssRunnerConfig config)
+    : board_(board), config_(config), bus_(ram), cpu_(bus_),
+      irq_sem_(board.kernel(), 0) {
+  bus_.map_mmio(
+      config_.mmio_base, config_.mmio_size,
+      [this](u32 offset, unsigned bytes) -> u32 {
+        board_.kernel().consume(config_.mmio_access_cost);
+        auto data = board_.dev_read(offset, bytes);
+        if (!data.ok()) return 0;
+        u32 v = 0;
+        for (std::size_t i = 0; i < data.value().size() && i < 4; ++i) {
+          v |= static_cast<u32>(data.value()[i]) << (8 * i);
+        }
+        return v;
+      },
+      [this](u32 offset, u32 value, unsigned bytes) {
+        board_.kernel().consume(config_.mmio_access_cost);
+        Bytes raw(bytes);
+        for (unsigned i = 0; i < bytes; ++i) {
+          raw[i] = static_cast<u8>(value >> (8 * i));
+        }
+        (void)board_.dev_write(offset, raw);
+      });
+
+  cpu_.set_pc(config_.entry_pc);
+  cpu_.set_reg(Cpu::kRegSp, config_.stack_top);
+  board_.spawn_app("firmware", config_.priority, [this] { run_loop(); });
+}
+
+bool IssRunner::handle_ecall() {
+  const u32 num = cpu_.reg(Cpu::kRegA7);
+  switch (num) {
+    case 0:  // exit
+      exit_code_ = cpu_.reg(Cpu::kRegA0);
+      return false;
+    case 1:  // wfi: wait for the device interrupt
+      irq_sem_.wait();
+      return true;
+    case 2:  // read board tick counter
+      cpu_.set_reg(Cpu::kRegA0,
+                   static_cast<u32>(board_.kernel().tick_count().value()));
+      return true;
+    case 3:  // yield
+      board_.kernel().yield();
+      return true;
+    default:
+      log_.warn("firmware: unknown syscall {} at pc={}", num, cpu_.pc());
+      return true;
+  }
+}
+
+void IssRunner::run_loop() {
+  u64 pending_cycles = 0;
+  const auto charge = [&] {
+    if (pending_cycles > 0) {
+      board_.kernel().consume(pending_cycles);
+      pending_cycles = 0;
+    }
+  };
+  while (cpu_.instructions_retired() < config_.max_instructions) {
+    const StepResult r = cpu_.step();
+    pending_cycles += r.cycles;
+    if (r.trap == TrapKind::kNone) {
+      if (pending_cycles >= config_.batch_cycles) charge();
+      continue;
+    }
+    // Traps synchronize the budget first: syscalls observe consistent time.
+    charge();
+    if (r.trap == TrapKind::kEcall) {
+      if (!handle_ecall()) break;
+      continue;
+    }
+    if (r.trap == TrapKind::kEbreak) {
+      log_.info("firmware: ebreak at pc={}", cpu_.pc());
+      break;
+    }
+    log_.error("firmware: {} at pc={} (ins={})",
+               r.trap == TrapKind::kIllegalInstruction ? "illegal instruction"
+                                                       : "misaligned fetch",
+               cpu_.pc(), r.instruction);
+    exit_code_ = 0xdead;
+    break;
+  }
+  charge();
+  exited_.store(true, std::memory_order_release);
+  log_.debug("firmware halted: {} instructions, exit={}",
+             cpu_.instructions_retired(), exit_code_);
+}
+
+}  // namespace vhp::iss

@@ -1,0 +1,25 @@
+#include "vhp/net/channel.hpp"
+
+namespace vhp::net {
+
+Status send_msg(Channel& ch, const Message& msg) {
+  return ch.send(encode(msg));
+}
+
+Result<Message> recv_msg(Channel& ch,
+                         std::optional<std::chrono::milliseconds> timeout) {
+  auto frame = ch.recv(timeout);
+  if (!frame.ok()) return frame.status();
+  return decode(frame.value());
+}
+
+Result<std::optional<Message>> try_recv_msg(Channel& ch) {
+  auto frame = ch.try_recv();
+  if (!frame.ok()) return frame.status();
+  if (!frame.value().has_value()) return std::optional<Message>{};
+  auto msg = decode(*frame.value());
+  if (!msg.ok()) return msg.status();
+  return std::optional<Message>{std::move(msg).value()};
+}
+
+}  // namespace vhp::net

@@ -1,0 +1,121 @@
+#include "vhp/net/inproc.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace vhp::net {
+namespace {
+
+/// One direction of the in-process pipe: a bounded deque of frames.
+class FrameQueue {
+ public:
+  explicit FrameQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  Status push(Bytes frame) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return Status{StatusCode::kAborted, "channel closed"};
+    queue_.push_back(std::move(frame));
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  Result<Bytes> pop(std::optional<std::chrono::milliseconds> timeout) {
+    std::unique_lock lock(mu_);
+    const auto ready = [&] { return !queue_.empty() || closed_; };
+    if (timeout) {
+      if (!not_empty_.wait_for(lock, *timeout, ready)) {
+        return Status{StatusCode::kDeadlineExceeded, "recv timeout"};
+      }
+    } else {
+      not_empty_.wait(lock, ready);
+    }
+    if (queue_.empty()) {
+      // closed_ and drained
+      return Status{StatusCode::kAborted, "channel closed"};
+    }
+    Bytes frame = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return frame;
+  }
+
+  Result<std::optional<Bytes>> try_pop() {
+    std::scoped_lock lock(mu_);
+    if (queue_.empty()) {
+      if (closed_) return Status{StatusCode::kAborted, "channel closed"};
+      return std::optional<Bytes>{};
+    }
+    Bytes frame = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return std::optional<Bytes>{std::move(frame)};
+  }
+
+  void close() {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Bytes> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// An endpoint owns a tx queue (shared with the peer's rx) and vice versa.
+class InProcChannel final : public Channel {
+ public:
+  InProcChannel(std::shared_ptr<FrameQueue> tx, std::shared_ptr<FrameQueue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  ~InProcChannel() override { close(); }
+
+  Status send(std::span<const u8> frame) override {
+    return tx_->push(Bytes{frame.begin(), frame.end()});
+  }
+
+  Result<Bytes> recv(std::optional<std::chrono::milliseconds> timeout) override {
+    return rx_->pop(timeout);
+  }
+
+  Result<std::optional<Bytes>> try_recv() override { return rx_->try_pop(); }
+
+  void close() override {
+    tx_->close();
+    rx_->close();
+  }
+
+ private:
+  std::shared_ptr<FrameQueue> tx_;
+  std::shared_ptr<FrameQueue> rx_;
+};
+
+}  // namespace
+
+std::pair<ChannelPtr, ChannelPtr> make_inproc_channel_pair(
+    std::size_t capacity) {
+  auto a_to_b = std::make_shared<FrameQueue>(capacity);
+  auto b_to_a = std::make_shared<FrameQueue>(capacity);
+  return {std::make_unique<InProcChannel>(a_to_b, b_to_a),
+          std::make_unique<InProcChannel>(b_to_a, a_to_b)};
+}
+
+LinkPair make_inproc_link_pair(std::size_t capacity) {
+  auto [data_a, data_b] = make_inproc_channel_pair(capacity);
+  auto [int_a, int_b] = make_inproc_channel_pair(capacity);
+  auto [clk_a, clk_b] = make_inproc_channel_pair(capacity);
+  LinkPair pair;
+  pair.hw = CosimLink{std::move(data_a), std::move(int_a), std::move(clk_a)};
+  pair.board =
+      CosimLink{std::move(data_b), std::move(int_b), std::move(clk_b)};
+  return pair;
+}
+
+}  // namespace vhp::net

@@ -1,0 +1,221 @@
+#include "vhp/common/format.hpp"
+
+#include "vhp/net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <system_error>
+
+#include "vhp/common/log.hpp"
+
+namespace vhp::net {
+namespace {
+
+const Logger kLog{"net"};
+
+Status errno_status(StatusCode code, const char* what) {
+  return Status{code, vhp::strformat("{}: {}", what, std::strerror(errno))};
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// A connected TCP stream carrying u32-length-prefixed frames.
+/// One sender thread + one receiver thread supported concurrently (the send
+/// path has its own mutex; the receive path is single-consumer).
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) { set_nodelay(fd_); }
+
+  ~TcpChannel() override {
+    close();
+    // The fd is released only here, after every user of this channel is
+    // done: close() must not invalidate the fd while a receiver thread may
+    // be entering poll() on it (a closed-and-reused fd, or poll on -1 with
+    // an infinite timeout, would hang or corrupt another connection).
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status send(std::span<const u8> frame) override {
+    Bytes wire;
+    wire.reserve(frame.size() + 4);
+    ByteWriter w{wire};
+    w.u32v(static_cast<u32>(frame.size()));
+    w.bytes(frame);
+    std::scoped_lock lock(send_mu_);
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          return Status{StatusCode::kAborted, "peer closed"};
+        }
+        return errno_status(StatusCode::kUnavailable, "send");
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Result<Bytes> recv(std::optional<std::chrono::milliseconds> timeout) override {
+    const auto deadline =
+        timeout ? std::optional{std::chrono::steady_clock::now() + *timeout}
+                : std::nullopt;
+    for (;;) {
+      if (auto frame = extract_frame()) return std::move(*frame);
+      int wait_ms = -1;
+      if (deadline) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            *deadline - std::chrono::steady_clock::now());
+        if (left.count() <= 0) {
+          return Status{StatusCode::kDeadlineExceeded, "recv timeout"};
+        }
+        wait_ms = static_cast<int>(left.count());
+      }
+      Status s = fill_rx(wait_ms);
+      if (!s.ok()) {
+        if (s.code() == StatusCode::kDeadlineExceeded && !deadline) continue;
+        return s;
+      }
+    }
+  }
+
+  Result<std::optional<Bytes>> try_recv() override {
+    if (auto frame = extract_frame()) return std::optional{std::move(*frame)};
+    Status s = fill_rx(0);
+    if (!s.ok() && s.code() != StatusCode::kDeadlineExceeded) return s;
+    if (auto frame = extract_frame()) return std::optional{std::move(*frame)};
+    return std::optional<Bytes>{};
+  }
+
+  void close() override {
+    // Shutdown (not close): wakes any thread blocked in poll() with
+    // POLLHUP/EOF on both this endpoint and the peer, while keeping the
+    // fd number valid until destruction.
+    if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+ private:
+  /// Pops one complete frame out of rx_, if available.
+  std::optional<Bytes> extract_frame() {
+    if (rx_.size() < 4) return std::nullopt;
+    ByteReader r{rx_};
+    const u32 len = r.u32v();
+    if (rx_.size() < 4u + len) return std::nullopt;
+    Bytes frame{rx_.begin() + 4, rx_.begin() + 4 + len};
+    rx_.erase(rx_.begin(), rx_.begin() + 4 + len);
+    return frame;
+  }
+
+  /// Waits up to wait_ms (-1 = forever, 0 = poll) for readability, then
+  /// drains whatever is available into rx_. kDeadlineExceeded when nothing
+  /// arrived in time.
+  Status fill_rx(int wait_ms) {
+    if (closed_.load(std::memory_order_relaxed)) {
+      return Status{StatusCode::kAborted, "channel closed"};
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) return Status{StatusCode::kDeadlineExceeded, ""};
+      return errno_status(StatusCode::kUnavailable, "poll");
+    }
+    if (rc == 0) return Status{StatusCode::kDeadlineExceeded, "no data"};
+    u8 buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status{StatusCode::kDeadlineExceeded, ""};
+      }
+      return errno_status(StatusCode::kUnavailable, "recv");
+    }
+    if (n == 0) return Status{StatusCode::kAborted, "peer closed"};
+    rx_.insert(rx_.end(), buf, buf + n);
+    return Status::Ok();
+  }
+
+  int fd_;
+  std::atomic<bool> closed_{false};
+  std::mutex send_mu_;
+  Bytes rx_;
+};
+
+int make_listener(u16* port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::system_error(errno, std::generic_category(), "socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 1) != 0) {
+    ::close(fd);
+    throw std::system_error(errno, std::generic_category(), "bind/listen");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+TcpLinkListener::TcpLinkListener() {
+  for (int i = 0; i < 3; ++i) listen_fds_[static_cast<std::size_t>(i)] =
+      make_listener(&ports_[static_cast<std::size_t>(i)]);
+  kLog.debug("listening on DATA={} INT={} CLOCK={}", ports_[0], ports_[1],
+             ports_[2]);
+}
+
+TcpLinkListener::~TcpLinkListener() {
+  for (int fd : listen_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+Result<CosimLink> TcpLinkListener::accept_link() {
+  std::array<ChannelPtr, 3> chans;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const int fd = ::accept(listen_fds_[i], nullptr, nullptr);
+    if (fd < 0) return errno_status(StatusCode::kUnavailable, "accept");
+    chans[i] = std::make_unique<TcpChannel>(fd);
+  }
+  return CosimLink{std::move(chans[0]), std::move(chans[1]),
+                   std::move(chans[2])};
+}
+
+Result<CosimLink> connect_tcp_link(std::array<u16, 3> ports) {
+  std::array<ChannelPtr, 3> chans;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return errno_status(StatusCode::kUnavailable, "socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(ports[i]);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return errno_status(StatusCode::kUnavailable, "connect");
+    }
+    chans[i] = std::make_unique<TcpChannel>(fd);
+  }
+  return CosimLink{std::move(chans[0]), std::move(chans[1]),
+                   std::move(chans[2])};
+}
+
+}  // namespace vhp::net

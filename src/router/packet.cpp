@@ -1,0 +1,63 @@
+#include "vhp/router/packet.hpp"
+
+#include "vhp/common/checksum.hpp"
+
+namespace vhp::router {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 1 + 1 + 4 + 4;
+constexpr std::size_t kTrailerBytes = 2;
+}  // namespace
+
+Bytes Packet::pack() const {
+  Bytes out;
+  out.reserve(kHeaderBytes + payload.size() + kTrailerBytes);
+  ByteWriter w{out};
+  w.u8v(src);
+  w.u8v(dst);
+  w.u32v(id);
+  w.u32v(static_cast<u32>(payload.size()));
+  w.bytes(payload);
+  w.u16v(checksum);
+  return out;
+}
+
+std::optional<Packet> Packet::unpack(std::span<const u8> raw) {
+  ByteReader r{raw};
+  Packet p;
+  p.src = r.u8v();
+  p.dst = r.u8v();
+  p.id = r.u32v();
+  const u32 len = r.u32v();
+  p.payload = r.bytes(len);
+  p.checksum = r.u16v();
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return p;
+}
+
+void Packet::finalize_checksum() {
+  checksum = 0;
+  const Bytes zeroed = pack();
+  checksum = internet_checksum(zeroed);
+}
+
+bool Packet::checksum_ok() const {
+  Packet copy = *this;
+  copy.checksum = 0;
+  return internet_checksum(copy.pack()) == checksum;
+}
+
+std::optional<u32> Packet::peek_id(std::span<const u8> raw) {
+  if (raw.size() < kHeaderBytes) return std::nullopt;
+  ByteReader r{raw};
+  (void)r.u8v();
+  (void)r.u8v();
+  return r.u32v();
+}
+
+bool packed_checksum_ok(std::span<const u8> raw) {
+  auto p = Packet::unpack(raw);
+  return p.has_value() && p->checksum_ok();
+}
+
+}  // namespace vhp::router

@@ -1,0 +1,64 @@
+#include "vhp/router/testbench.hpp"
+
+namespace vhp::router {
+
+RouterTestbench::RouterTestbench(sim::Kernel& kernel, TestbenchConfig config,
+                                 cosim::DriverRegistry* registry)
+    : config_(config) {
+  router_ =
+      std::make_unique<RouterModule>(kernel, config_.router, registry);
+  for (std::size_t p = 0; p < config_.router.n_ports; ++p) {
+    GeneratorConfig gen;
+    gen.port = p;
+    gen.src_address = static_cast<u8>(p);
+    gen.count = config_.packets_per_port;
+    gen.gap_cycles = config_.gap_cycles;
+    gen.payload_bytes = config_.payload_bytes;
+    gen.corrupt_probability = config_.corrupt_probability;
+    gen.seed = config_.seed + p;
+    gen.clock_period = config_.router.clock_period;
+    generators_.push_back(
+        std::make_unique<PacketGenerator>(kernel, *router_, gen));
+
+    ConsumerConfig sink;
+    sink.port = p;
+    sink.clock_period = config_.router.clock_period;
+    consumers_.push_back(
+        std::make_unique<PacketConsumer>(kernel, *router_, sink));
+  }
+}
+
+u64 RouterTestbench::total_emitted() const {
+  u64 n = 0;
+  for (const auto& g : generators_) n += g->emitted();
+  return n;
+}
+
+u64 RouterTestbench::total_received() const {
+  u64 n = 0;
+  for (const auto& c : consumers_) n += c->received();
+  return n;
+}
+
+u64 RouterTestbench::total_integrity_failures() const {
+  u64 n = 0;
+  for (const auto& c : consumers_) n += c->integrity_failures();
+  return n;
+}
+
+bool RouterTestbench::traffic_done() const {
+  for (const auto& g : generators_) {
+    if (!g->done()) return false;
+  }
+  return router_->drained();
+}
+
+double RouterTestbench::forward_ratio() const {
+  const u64 emitted = total_emitted();
+  return emitted == 0
+             ? 1.0
+             : static_cast<double>(router_->stats().forwarded) /
+                   static_cast<double>(emitted);
+}
+
+}  // namespace vhp::router

@@ -1,0 +1,64 @@
+#include "vhp/router/traffic.hpp"
+
+#include "vhp/common/format.hpp"
+
+namespace vhp::router {
+
+PacketGenerator::PacketGenerator(sim::Kernel& kernel, RouterModule& router,
+                                 GeneratorConfig config)
+    : Module(kernel, strformat("gen{}", config.port)), router_(router),
+      config_(config), rng_(config.seed),
+      // Ids are globally unique across generators: high byte = source port.
+      next_id_(static_cast<u32>(config.port) << 24) {
+  thread("produce", [this] { produce_loop(); });
+}
+
+Packet PacketGenerator::make_packet() {
+  Packet p;
+  p.src = config_.src_address;
+  p.dst = static_cast<u8>(rng_.below(256));
+  p.id = next_id_++;
+  p.payload.resize(config_.payload_bytes);
+  for (auto& b : p.payload) b = static_cast<u8>(rng_.below(256));
+  p.finalize_checksum();
+  if (config_.corrupt_probability > 0.0 &&
+      rng_.chance(config_.corrupt_probability) && !p.payload.empty()) {
+    p.payload[rng_.below(p.payload.size())] ^= 0xff;
+    ++corrupted_;
+  }
+  return p;
+}
+
+void PacketGenerator::produce_loop() {
+  for (u64 i = 0; i < config_.count; ++i) {
+    sim::wait(config_.gap_cycles * config_.clock_period);
+    Packet p = make_packet();
+    (void)router_.offer(config_.port, std::move(p));
+    ++emitted_;
+  }
+  done_ = true;
+}
+
+PacketConsumer::PacketConsumer(sim::Kernel& kernel, RouterModule& router,
+                               ConsumerConfig config)
+    : Module(kernel, strformat("sink{}", config.port)), router_(router),
+      config_(config) {
+  thread("consume", [this] { consume_loop(); });
+}
+
+void PacketConsumer::consume_loop() {
+  auto& fifo = router_.output(config_.port);
+  for (;;) {
+    Packet p = fifo.read();
+    sim::wait(config_.drain_cycles * config_.clock_period);
+    ++received_;
+    if (!p.checksum_ok()) ++integrity_failures_;
+    // With the default modulo routing, dst % n_ports must equal our port.
+    if (router_.config().routes.empty() &&
+        p.dst % router_.config().n_ports != config_.port) {
+      ++misrouted_;
+    }
+  }
+}
+
+}  // namespace vhp::router

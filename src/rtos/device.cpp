@@ -1,0 +1,31 @@
+#include "vhp/rtos/device.hpp"
+
+#include "vhp/common/format.hpp"
+
+namespace vhp::rtos {
+
+Status DeviceTable::register_device(const std::string& name,
+                                    std::unique_ptr<Device> device) {
+  if (devices_.contains(name)) {
+    return Status{StatusCode::kAlreadyExists,
+                  strformat("device '{}' already registered", name)};
+  }
+  devices_.emplace(name, Entry{std::move(device), false});
+  return Status::Ok();
+}
+
+Result<Device*> DeviceTable::lookup(const std::string& name) {
+  auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    return Status{StatusCode::kNotFound,
+                  strformat("no device '{}' in devtab", name)};
+  }
+  if (!it->second.opened) {
+    Status s = it->second.device->open();
+    if (!s.ok()) return s;
+    it->second.opened = true;
+  }
+  return it->second.device.get();
+}
+
+}  // namespace vhp::rtos

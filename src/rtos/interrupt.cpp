@@ -1,0 +1,57 @@
+#include "vhp/rtos/interrupt.hpp"
+
+#include "vhp/rtos/kernel.hpp"
+
+namespace vhp::rtos {
+
+void InterruptController::attach(u32 vector, InterruptHandler handler) {
+  handlers_[vector] = Entry{std::move(handler), /*masked=*/false, 0};
+}
+
+void InterruptController::detach(u32 vector) { handlers_.erase(vector); }
+
+void InterruptController::mask(u32 vector) {
+  auto it = handlers_.find(vector);
+  if (it != handlers_.end()) it->second.masked = true;
+}
+
+void InterruptController::unmask(u32 vector) {
+  auto it = handlers_.find(vector);
+  if (it == handlers_.end()) return;
+  it->second.masked = false;
+  while (it->second.pending_while_masked > 0) {
+    --it->second.pending_while_masked;
+    raise(vector);
+  }
+}
+
+void InterruptController::raise(u32 vector) {
+  auto it = handlers_.find(vector);
+  if (it == handlers_.end()) {
+    ++spurious_;
+    return;
+  }
+  if (it->second.masked) {
+    ++it->second.pending_while_masked;
+    return;
+  }
+  const IsrResult result =
+      it->second.handler.isr ? it->second.handler.isr(vector)
+                             : IsrResult::kCallDsr;
+  if (result == IsrResult::kCallDsr && it->second.handler.dsr) {
+    dsr_queue_.push_back(vector);
+  }
+}
+
+void InterruptController::run_pending_dsrs() {
+  while (!dsr_queue_.empty()) {
+    const u32 vector = dsr_queue_.front();
+    dsr_queue_.pop_front();
+    auto it = handlers_.find(vector);
+    if (it != handlers_.end() && it->second.handler.dsr) {
+      it->second.handler.dsr(vector);
+    }
+  }
+}
+
+}  // namespace vhp::rtos

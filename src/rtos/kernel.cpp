@@ -1,0 +1,259 @@
+#include "vhp/rtos/kernel.hpp"
+
+#include <cassert>
+#include <thread>
+
+namespace vhp::rtos {
+
+Kernel::Kernel(KernelConfig config) : config_(config) {
+  assert(config_.cycles_per_tick > 0);
+  assert(config_.timeslice_ticks > 0);
+  idle_thread_ = &spawn("idle", Thread::kIdlePriority, [this] { idle_loop(); });
+  idle_thread_->set_comm_thread(true);
+}
+
+Kernel::~Kernel() = default;
+
+Thread& Kernel::spawn(std::string name, int priority, Thread::Entry entry,
+                      std::size_t stack_bytes) {
+  auto thread = std::make_unique<Thread>(*this, std::move(name), priority,
+                                         std::move(entry), stack_bytes);
+  Thread& ref = *thread;
+  threads_.push_back(std::move(thread));
+  ref.timeslice_left_ = config_.timeslice_ticks;
+  ref.state_ = Thread::State::kReady;
+  scheduler_.make_ready(&ref);
+  return ref;
+}
+
+void Kernel::run(bool until_quiescent) {
+  assert(current_ == nullptr && "run() re-entered from thread context");
+  in_run_loop_ = true;
+  while (!shutdown_) {
+    interrupts_.run_pending_dsrs();
+    if (until_quiescent && quiescent()) break;
+    Thread* next = scheduler_.pick(state_ == OsState::kIdle);
+    // The idle thread never blocks and is a communication thread, so the
+    // scheduler always finds at least it.
+    assert(next != nullptr && "no runnable thread, idle thread missing?");
+    current_ = next;
+    current_->state_ = Thread::State::kRunning;
+    ++stats_.context_switches;
+    current_->fiber_.resume();
+    if (current_ != nullptr && current_->state_ == Thread::State::kRunning) {
+      current_->state_ = Thread::State::kReady;
+    }
+    current_ = nullptr;
+  }
+  in_run_loop_ = false;
+}
+
+void Kernel::shutdown() {
+  shutdown_ = true;
+  // If called from thread context, bounce back to the run loop so it can
+  // observe the flag; if called externally (before run()), this is a no-op.
+  if (current_ != nullptr) reschedule_current();
+}
+
+void Kernel::yield() {
+  assert(current_ != nullptr && "yield() outside thread context");
+  scheduler_.rotate(current_->priority());
+  reschedule_current();
+}
+
+void Kernel::reschedule_current() {
+  assert(current_ != nullptr);
+  Fiber::yield_to_resumer();
+}
+
+void Kernel::block_current(WaitQueue& queue) {
+  Thread* self = current_;
+  assert(self != nullptr && "blocking outside thread context");
+  assert(self != idle_thread_ && "the idle thread must never block");
+  self->state_ = Thread::State::kBlocked;
+  self->waiting_on_ = &queue;
+  scheduler_.remove(self);
+  queue.waiters_.push_back(self);
+  reschedule_current();
+  // Woken (or timed out): we are ready and running again.
+}
+
+void Kernel::make_ready(Thread* thread) {
+  if (thread->state_ == Thread::State::kReady ||
+      thread->state_ == Thread::State::kRunning ||
+      thread->state_ == Thread::State::kExited) {
+    return;
+  }
+  thread->state_ = Thread::State::kReady;
+  thread->waiting_on_ = nullptr;
+  scheduler_.make_ready(thread);
+  if (current_ != nullptr && thread->priority() < current_->priority()) {
+    need_resched_ = true;  // preempt at the next preemption point
+  }
+}
+
+void Kernel::set_effective_priority(Thread* thread, int priority) {
+  if (thread->priority_ == priority) return;
+  const bool queued = thread->state_ == Thread::State::kReady ||
+                      thread->state_ == Thread::State::kRunning;
+  if (queued) scheduler_.remove(thread);
+  thread->priority_ = priority;
+  if (queued) scheduler_.make_ready(thread);
+  if (current_ != nullptr && thread != current_ &&
+      priority < current_->priority()) {
+    need_resched_ = true;
+  }
+}
+
+void Kernel::join(Thread& thread) {
+  assert(current_ != &thread && "a thread cannot join itself");
+  // Joiners all share one queue and re-check their target on every exit
+  // broadcast; simple and adequate for the few joins an embedded app does.
+  while (thread.state() != Thread::State::kExited) join_wait_.wait();
+}
+
+void Kernel::on_thread_exit(Thread* thread) {
+  scheduler_.remove(thread);
+  join_wait_.wake_all();
+  // The fiber trampoline returns control to the run loop after this.
+}
+
+void Kernel::timer_tick() {
+  ++tick_count_;
+  ++stats_.ticks;
+  rtc_.advance(1);  // fires due alarms: delays, timeouts, app alarms
+  Thread* t = current_;
+  if (t != nullptr && t != idle_thread_) {
+    if (t->timeslice_left_ > 0) --t->timeslice_left_;
+    if (t->timeslice_left_ == 0) {
+      t->timeslice_left_ = config_.timeslice_ticks;
+      scheduler_.rotate(t->priority());
+      need_resched_ = true;
+    }
+  }
+}
+
+void Kernel::consume(u64 cycles) {
+  assert(current_ != nullptr && "consume() outside thread context");
+  while (cycles > 0) {
+    if (config_.budget_mode && budget_cycles_ == 0) {
+      enter_idle_state();
+      if (current_ == idle_thread_ || current_->is_comm_thread()) {
+        // Machinery threads never block on the budget; they are outside
+        // the timing model and must stay runnable to thaw the OS.
+        return;
+      }
+      // The freeze callback may have granted synchronously (tests do;
+      // the real board grants later from the systemc thread) — re-check
+      // before blocking or the wake is lost.
+      if (budget_cycles_ == 0) budget_wait_.wait();
+      continue;
+    }
+    u64 chunk =
+        config_.cycles_per_tick - (cycle_count_ % config_.cycles_per_tick);
+    chunk = std::min(chunk, cycles);
+    if (config_.budget_mode) chunk = std::min(chunk, budget_cycles_);
+    cycle_count_ += chunk;
+    cycles -= chunk;
+    if (config_.budget_mode) budget_cycles_ -= chunk;
+    if (cycle_count_ % config_.cycles_per_tick == 0) timer_tick();
+    if (need_resched_) {
+      need_resched_ = false;
+      reschedule_current();
+    }
+  }
+}
+
+void Kernel::delay(SwTicks ticks) {
+  assert(current_ != nullptr && "delay() outside thread context");
+  if (ticks.value() == 0) {
+    yield();
+    return;
+  }
+  WaitQueue sleep_queue{*this};
+  Thread* self = current_;
+  Alarm wakeup(rtc_, [&sleep_queue, self, this](Alarm&, u64) {
+    if (sleep_queue.remove(self)) make_ready(self);
+  });
+  wakeup.arm_in(ticks.value());
+  block_current(sleep_queue);
+}
+
+void Kernel::grant_cycles(u64 cycles) {
+  budget_cycles_ += cycles;
+  ++stats_.grants;
+  if (state_ == OsState::kIdle) {
+    state_ = OsState::kNormal;
+    if (state_trace_) state_trace_(state_, tick_count_);
+    budget_wait_.wake_all();
+    need_resched_ = true;
+  }
+}
+
+void Kernel::enter_idle_state() {
+  if (state_ == OsState::kIdle) return;
+  state_ = OsState::kIdle;
+  ++stats_.freezes;
+  log_.trace("freeze at tick {}", tick_count_.value());
+  if (state_trace_) state_trace_(state_, tick_count_);
+  if (freeze_cb_) freeze_cb_(tick_count_);
+}
+
+void Kernel::idle_loop() {
+  for (;;) {
+    bool advanced = false;
+    if (state_ == OsState::kNormal) {
+      if (config_.budget_mode) {
+        if (budget_cycles_ > 0) {
+          // Nothing else wants the CPU: idle time consumes the budget so
+          // virtual time always reaches the next synchronization point.
+          const u64 chunk = std::min(
+              budget_cycles_, config_.cycles_per_tick -
+                                  (cycle_count_ % config_.cycles_per_tick));
+          stats_.idle_cycles += chunk;
+          consume(chunk);
+          advanced = true;
+        } else {
+          enter_idle_state();
+          advanced = true;
+        }
+      } else if (rtc_.has_pending_alarms()) {
+        // Standalone mode: advance virtual time only when someone is
+        // waiting for it — as fast as the host allows, or paced to the
+        // wall clock when real_time_tick is set (the physical board's
+        // 1 ms HW timer behaviour).
+        if (config_.real_time_tick.count() > 0) {
+          if (rt_next_tick_ == std::chrono::steady_clock::time_point{}) {
+            rt_next_tick_ = std::chrono::steady_clock::now();
+          }
+          rt_next_tick_ += config_.real_time_tick;
+          std::this_thread::sleep_until(rt_next_tick_);
+        }
+        const u64 chunk =
+            config_.cycles_per_tick - (cycle_count_ % config_.cycles_per_tick);
+        stats_.idle_cycles += chunk;
+        consume(chunk);
+        advanced = true;
+      }
+    }
+    if (!advanced) {
+      // Frozen (or truly idle): poll the outside world, gently.
+      if (idle_poll_) {
+        idle_poll_();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    yield();
+  }
+}
+
+bool Kernel::quiescent() const {
+  for (const auto& t : threads_) {
+    if (t.get() == idle_thread_) continue;
+    if (t->state() != Thread::State::kExited) return false;
+  }
+  return true;
+}
+
+}  // namespace vhp::rtos

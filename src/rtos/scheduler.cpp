@@ -1,0 +1,53 @@
+#include "vhp/rtos/scheduler.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace vhp::rtos {
+
+void Scheduler::make_ready(Thread* thread) {
+  const auto p = static_cast<std::size_t>(thread->priority());
+  assert(p < ready_.size());
+  assert(std::find(ready_[p].begin(), ready_[p].end(), thread) ==
+             ready_[p].end() &&
+         "thread already in a ready queue");
+  ready_[p].push_back(thread);
+  bitmap_ |= (1u << p);
+}
+
+void Scheduler::remove(Thread* thread) {
+  const auto p = static_cast<std::size_t>(thread->priority());
+  auto& q = ready_[p];
+  std::erase(q, thread);
+  if (q.empty()) bitmap_ &= ~(1u << p);
+}
+
+Thread* Scheduler::pick(bool idle_state) const {
+  if (!idle_state) {
+    if (bitmap_ == 0) return nullptr;
+    const auto p = static_cast<std::size_t>(std::countr_zero(bitmap_));
+    return ready_[p].front();
+  }
+  // Idle (frozen) state: only communication threads may run; the bitmap
+  // is not enough, scan queues in priority order.
+  u32 bits = bitmap_;
+  while (bits != 0) {
+    const auto p = static_cast<std::size_t>(std::countr_zero(bits));
+    for (Thread* t : ready_[p]) {
+      if (t->is_comm_thread()) return t;
+    }
+    bits &= bits - 1;
+  }
+  return nullptr;
+}
+
+void Scheduler::rotate(int priority) {
+  auto& q = ready_[static_cast<std::size_t>(priority)];
+  if (q.size() < 2) return;
+  Thread* head = q.front();
+  q.pop_front();
+  q.push_back(head);
+}
+
+}  // namespace vhp::rtos

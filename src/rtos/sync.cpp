@@ -1,0 +1,109 @@
+#include "vhp/rtos/sync.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "vhp/rtos/kernel.hpp"
+
+namespace vhp::rtos {
+
+void Mutex::lock() {
+  Thread* self = kernel_.current();
+  assert(self != nullptr && "Mutex::lock outside thread context");
+  assert(owner_ != self && "recursive Mutex::lock");
+  while (owner_ != nullptr) {
+    if (protocol_ == Protocol::kInherit &&
+        self->priority() < owner_->priority()) {
+      // Classic priority inheritance: the owner runs at the highest
+      // priority among its waiters until it releases.
+      kernel_.set_effective_priority(owner_, self->priority());
+    }
+    queue_.wait();
+  }
+  acquire(self);
+}
+
+bool Mutex::try_lock() {
+  if (owner_ != nullptr) return false;
+  acquire(kernel_.current());
+  return true;
+}
+
+void Mutex::acquire(Thread* self) {
+  owner_ = self;
+  if (protocol_ == Protocol::kInherit && self != nullptr) {
+    self->held_pi_mutexes_.push_back(this);
+  }
+}
+
+int Mutex::top_waiter_priority() const {
+  int best = Thread::kPriorities;  // sentinel: no boost
+  for (const Thread* t : queue_.waiters()) {
+    best = std::min(best, t->priority());
+  }
+  return best;
+}
+
+void Mutex::unlock() {
+  Thread* self = kernel_.current();
+  assert(owner_ == self && "unlock by non-owner");
+  owner_ = nullptr;
+  if (protocol_ == Protocol::kInherit && self != nullptr) {
+    std::erase(self->held_pi_mutexes_, this);
+    // De-boost to base priority, except for boosts still owed to other
+    // held priority-inheriting mutexes.
+    int priority = self->base_priority();
+    for (const Mutex* m : self->held_pi_mutexes_) {
+      priority = std::min(priority, m->top_waiter_priority());
+    }
+    kernel_.set_effective_priority(self, priority);
+  }
+  queue_.wake_one();
+}
+
+void Semaphore::wait() {
+  while (count_ == 0) queue_.wait();
+  --count_;
+}
+
+bool Semaphore::wait_ticks(SwTicks timeout) {
+  while (count_ == 0) {
+    if (!queue_.wait_ticks(timeout)) return false;
+  }
+  --count_;
+  return true;
+}
+
+bool Semaphore::try_wait() {
+  if (count_ == 0) return false;
+  --count_;
+  return true;
+}
+
+void Semaphore::post() {
+  ++count_;
+  queue_.wake_one();
+}
+
+void EventFlag::set(u32 bits) {
+  bits_ |= bits;
+  queue_.wake_all();  // waiters re-check their masks
+}
+
+u32 EventFlag::wait_any(u32 mask) {
+  while ((bits_ & mask) == 0) queue_.wait();
+  const u32 matched = bits_ & mask;
+  bits_ &= ~matched;
+  return matched;
+}
+
+std::optional<u32> EventFlag::wait_any_ticks(u32 mask, SwTicks timeout) {
+  while ((bits_ & mask) == 0) {
+    if (!queue_.wait_ticks(timeout)) return std::nullopt;
+  }
+  const u32 matched = bits_ & mask;
+  bits_ &= ~matched;
+  return matched;
+}
+
+}  // namespace vhp::rtos

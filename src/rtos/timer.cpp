@@ -1,0 +1,68 @@
+#include "vhp/rtos/timer.hpp"
+
+#include <cassert>
+
+namespace vhp::rtos {
+
+Alarm::Alarm(Counter& counter, Handler handler)
+    : counter_(counter), handler_(std::move(handler)) {
+  assert(handler_ && "alarm needs a handler");
+}
+
+Alarm::~Alarm() { disarm(); }
+
+void Alarm::arm_at(u64 trigger, u64 period) {
+  disarm();
+  trigger_ = trigger;
+  period_ = period;
+  armed_ = true;
+  if (trigger_ <= counter_.value()) {
+    // eCos fires immediately-due alarms on the next counter advance;
+    // we match that by clamping the trigger to the next count.
+    trigger_ = counter_.value() + 1;
+  }
+  counter_.enqueue(this);
+}
+
+void Alarm::arm_in(u64 delta, u64 period) {
+  arm_at(counter_.value() + delta, period);
+}
+
+void Alarm::disarm() {
+  if (!armed_) return;
+  counter_.dequeue(this);
+  armed_ = false;
+}
+
+void Counter::enqueue(Alarm* alarm) {
+  pending_.emplace(alarm->trigger_, alarm);
+}
+
+void Counter::dequeue(Alarm* alarm) {
+  auto [lo, hi] = pending_.equal_range(alarm->trigger_);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == alarm) {
+      pending_.erase(it);
+      return;
+    }
+  }
+}
+
+void Counter::advance(u64 n) {
+  value_ += n;
+  while (!pending_.empty() && pending_.begin()->first <= value_) {
+    Alarm* alarm = pending_.begin()->second;
+    pending_.erase(pending_.begin());
+    alarm->armed_ = false;
+    const u64 fired_at = alarm->trigger_;
+    if (alarm->period_ > 0) {
+      // Re-arm before the handler so the handler may disarm.
+      alarm->trigger_ = fired_at + alarm->period_;
+      alarm->armed_ = true;
+      enqueue(alarm);
+    }
+    alarm->handler_(*alarm, value_);
+  }
+}
+
+}  // namespace vhp::rtos

@@ -1,0 +1,54 @@
+#include "vhp/rtos/wait_queue.hpp"
+
+#include <cassert>
+
+#include "vhp/rtos/kernel.hpp"
+
+namespace vhp::rtos {
+
+WaitQueue::~WaitQueue() {
+  assert(waiters_.empty() &&
+         "destroying a wait queue with blocked threads strands them");
+}
+
+void WaitQueue::wait() {
+  Thread* self = kernel_.current();
+  assert(self != nullptr && "wait() outside thread context");
+  self->timed_out_ = false;
+  kernel_.block_current(*this);
+}
+
+bool WaitQueue::wait_ticks(SwTicks timeout_ticks) {
+  Thread* self = kernel_.current();
+  assert(self != nullptr && "wait_ticks() outside thread context");
+  self->timed_out_ = false;
+  Alarm timeout(kernel_.real_time_clock(), [this, self](Alarm&, u64) {
+    if (remove(self)) {
+      self->timed_out_ = true;
+      kernel_.make_ready(self);
+    }
+  });
+  timeout.arm_in(timeout_ticks.value());
+  kernel_.block_current(*this);
+  // Back here after wake or timeout; the alarm destructor disarms.
+  return !self->timed_out_;
+}
+
+void WaitQueue::wake_one() {
+  if (waiters_.empty()) return;
+  Thread* t = waiters_.front();
+  waiters_.pop_front();
+  kernel_.make_ready(t);
+}
+
+void WaitQueue::wake_all() {
+  while (!waiters_.empty()) wake_one();
+}
+
+bool WaitQueue::remove(Thread* thread) {
+  const auto before = waiters_.size();
+  std::erase(waiters_, thread);
+  return waiters_.size() != before;
+}
+
+}  // namespace vhp::rtos

@@ -1,0 +1,74 @@
+#include "vhp/sim/bus.hpp"
+
+#include "vhp/common/format.hpp"
+#include "vhp/sim/kernel.hpp"
+
+namespace vhp::sim {
+
+Bus::Bus(Kernel& kernel, std::string name, Config config)
+    : Module(kernel, std::move(name)), config_(config),
+      released_(kernel, qualify("released")) {}
+
+void Bus::map(u32 base, u32 size, BusTarget& target) {
+  map_.push_back(Mapping{base, size, &target});
+}
+
+Bus::Mapping* Bus::decode(u32 addr) {
+  for (auto& m : map_) {
+    if (addr >= m.base && addr - m.base < m.size) return &m;
+  }
+  return nullptr;
+}
+
+void Bus::acquire() {
+  const u64 ticket = next_ticket_++;
+  if (ticket != serving_) ++stats_.contended;
+  while (ticket != serving_) wait(released_);
+}
+
+void Bus::release() {
+  ++serving_;
+  // Immediate notification: every waiter re-checks its ticket within this
+  // evaluation; exactly the next one in FIFO order proceeds.
+  released_.notify();
+}
+
+Result<u32> Bus::read(u32 addr) {
+  acquire();
+  ++stats_.reads;
+  Mapping* m = decode(addr);
+  const u64 cycles =
+      config_.transfer_cycles + (m != nullptr ? m->target->wait_states() : 0);
+  wait(cycles * config_.clock_period);
+  Result<u32> result = Status{StatusCode::kNotFound, ""};
+  if (m == nullptr) {
+    ++stats_.decode_errors;
+    result = Status{StatusCode::kNotFound,
+                    strformat("bus error: no target at {}", addr)};
+  } else {
+    result = m->target->bus_read(addr - m->base);
+  }
+  release();
+  return result;
+}
+
+Status Bus::write(u32 addr, u32 data) {
+  acquire();
+  ++stats_.writes;
+  Mapping* m = decode(addr);
+  const u64 cycles =
+      config_.transfer_cycles + (m != nullptr ? m->target->wait_states() : 0);
+  wait(cycles * config_.clock_period);
+  Status result;
+  if (m == nullptr) {
+    ++stats_.decode_errors;
+    result = Status{StatusCode::kNotFound,
+                    strformat("bus error: no target at {}", addr)};
+  } else {
+    result = m->target->bus_write(addr - m->base, data);
+  }
+  release();
+  return result;
+}
+
+}  // namespace vhp::sim

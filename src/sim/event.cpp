@@ -1,0 +1,63 @@
+#include "vhp/sim/event.hpp"
+
+#include <algorithm>
+
+#include "vhp/sim/kernel.hpp"
+#include "vhp/sim/process.hpp"
+
+namespace vhp::sim {
+
+Event::Event(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {}
+
+Event::~Event() {
+  cancel();
+  kernel_.forget_event(this);
+}
+
+void Event::notify() {
+  // Immediate notification: fire right now, within the evaluation phase.
+  // Pending delta/timed notifications are unaffected (SystemC semantics:
+  // immediate does not cancel, but the per-process runnable flag dedupes).
+  trigger();
+}
+
+void Event::notify_delta() {
+  if (pending_ == Pending::kDelta) return;
+  if (pending_ == Pending::kTimed) {
+    // Delta (earlier) overrides timed (later); invalidate the queue entry.
+    ++pending_token_;
+  }
+  pending_ = Pending::kDelta;
+  kernel_.schedule_delta(this);
+}
+
+void Event::notify_at(SimTime delay) {
+  const SimTime abs = kernel_.now() + delay;
+  if (pending_ == Pending::kDelta) return;  // delta is always earlier
+  if (pending_ == Pending::kTimed && pending_time_ <= abs) return;
+  ++pending_token_;  // invalidate any previously queued (later) entry
+  pending_ = Pending::kTimed;
+  pending_time_ = abs;
+  kernel_.schedule_timed(this, abs, pending_token_);
+}
+
+void Event::cancel() {
+  ++pending_token_;
+  pending_ = Pending::kNone;
+}
+
+void Event::trigger() {
+  pending_ = Pending::kNone;
+  for (Process* p : static_sensitive_) p->trigger_from(*this);
+  if (!dynamic_waiters_.empty()) {
+    // One-shot: waiting processes resume once, then re-register if needed.
+    // Stale registrations (a wait_any lost to another event) are filtered
+    // by the token inside trigger_dynamic.
+    std::vector<std::pair<Process*, std::uint64_t>> waiters;
+    waiters.swap(dynamic_waiters_);
+    for (auto& [p, token] : waiters) p->trigger_dynamic(*this, token);
+  }
+}
+
+}  // namespace vhp::sim

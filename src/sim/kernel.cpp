@@ -1,0 +1,182 @@
+#include "vhp/sim/kernel.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "vhp/common/log.hpp"
+
+namespace vhp::sim {
+
+namespace {
+const Logger kLog{"sim"};
+}
+
+Kernel::Kernel() = default;
+Kernel::~Kernel() = default;
+
+Process& Kernel::register_process(std::unique_ptr<Process> process) {
+  Process& ref = *process;
+  processes_.push_back(std::move(process));
+  uninitialized_.push_back(&ref);
+  return ref;
+}
+
+void Kernel::schedule_timed(Event* event, SimTime abs_time,
+                            std::uint64_t token) {
+  assert(abs_time >= now_);
+  timed_queue_.emplace(abs_time, TimedEntry{event, token});
+}
+
+void Kernel::schedule_delta(Event* event) { delta_queue_.push_back(event); }
+
+void Kernel::forget_event(Event* event) {
+  std::erase(delta_queue_, event);
+  for (auto it = timed_queue_.begin(); it != timed_queue_.end();) {
+    it = it->second.event == event ? timed_queue_.erase(it) : std::next(it);
+  }
+}
+
+void Kernel::request_update(SignalBase* signal) {
+  if (signal->update_requested_) return;
+  signal->update_requested_ = true;
+  update_queue_.push_back(signal);
+}
+
+void Kernel::make_runnable(Process* process) { runnable_.push_back(process); }
+
+void Kernel::initialize_new_processes() {
+  // SystemC initialization: every process runs once at elaboration end,
+  // unless it asked dont_initialize(). Processes created mid-simulation
+  // (rare, but the cosim SyncAgent does it) are initialized lazily here too.
+  if (uninitialized_.empty()) return;
+  std::vector<Process*> batch;
+  batch.swap(uninitialized_);
+  for (Process* p : batch) {
+    if (p->initialize_) {
+      p->runnable_ = true;
+      runnable_.push_back(p);
+    }
+  }
+}
+
+bool Kernel::do_delta_cycle() {
+  initialize_new_processes();
+  // update_queue_ alone is enough to need a cycle: testbench code may write
+  // a signal from outside any process (no runnable yet, but an update and
+  // possibly a change notification must still happen).
+  if (runnable_.empty() && delta_queue_.empty() && update_queue_.empty()) {
+    return false;
+  }
+
+  // --- evaluation phase ---
+  // Immediate notifications may append to runnable_ while we iterate, so
+  // index-based iteration is required.
+  in_evaluation_ = true;
+  for (std::size_t i = 0; i < runnable_.size(); ++i) {
+    Process* p = runnable_[i];
+    p->runnable_ = false;
+    if (p->terminated_) continue;
+    p->execute();
+  }
+  runnable_.clear();
+  in_evaluation_ = false;
+
+  // --- update phase ---
+  std::vector<SignalBase*> updates;
+  updates.swap(update_queue_);
+  for (SignalBase* s : updates) {
+    s->update_requested_ = false;
+    s->update();  // fires the change hooks itself, only on a real change
+  }
+
+  // --- delta notification phase ---
+  std::vector<Event*> deltas;
+  deltas.swap(delta_queue_);
+  for (Event* e : deltas) {
+    // The event may have been cancelled or re-notified since queuing;
+    // pending_ is authoritative.
+    if (e->pending_ == Event::Pending::kDelta) e->trigger();
+  }
+
+  ++delta_count_;
+  return true;
+}
+
+void Kernel::exhaust_deltas() {
+  std::uint64_t deltas_this_step = 0;
+  while (!stop_requested_ && do_delta_cycle()) {
+    if (delta_limit_ != 0 && ++deltas_this_step > delta_limit_) {
+      throw std::runtime_error(
+          "delta-cycle livelock: timestep " + std::to_string(now_) +
+          " exceeded " + std::to_string(delta_limit_) + " delta cycles");
+    }
+  }
+}
+
+std::optional<SimTime> Kernel::next_event_time() const {
+  for (const auto& [t, entry] : timed_queue_) {
+    if (entry.event->pending_ == Event::Pending::kTimed &&
+        entry.event->pending_token_ == entry.token) {
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Kernel::idle() const {
+  return runnable_.empty() && delta_queue_.empty() &&
+         update_queue_.empty() && uninitialized_.empty() &&
+         !next_event_time().has_value();
+}
+
+void Kernel::run_until(SimTime t) {
+  assert(t >= now_);
+  stop_requested_ = false;
+  exhaust_deltas();
+  while (!stop_requested_) {
+    // Advance to the next valid timed notification at or before t.
+    std::optional<SimTime> next;
+    while (!timed_queue_.empty()) {
+      auto it = timed_queue_.begin();
+      Event* e = it->second.event;
+      if (e->pending_ != Event::Pending::kTimed ||
+          e->pending_token_ != it->second.token) {
+        timed_queue_.erase(it);  // stale (cancelled/overridden) entry
+        continue;
+      }
+      next = it->first;
+      break;
+    }
+    if (!next || *next > t) break;
+    now_ = *next;
+    // Fire every valid notification at this time point.
+    while (!timed_queue_.empty() && timed_queue_.begin()->first == now_) {
+      auto it = timed_queue_.begin();
+      Event* e = it->second.event;
+      const std::uint64_t token = it->second.token;
+      timed_queue_.erase(it);
+      if (e->pending_ == Event::Pending::kTimed &&
+          e->pending_token_ == token) {
+        e->trigger();
+      }
+    }
+    exhaust_deltas();
+  }
+  if (!stop_requested_ && now_ < t) now_ = t;
+}
+
+void Kernel::run_to_completion() {
+  stop_requested_ = false;
+  exhaust_deltas();
+  while (!stop_requested_) {
+    std::optional<SimTime> next = next_event_time();
+    if (!next) break;
+    run_until(*next);
+    if (stop_requested_) break;
+    exhaust_deltas();
+  }
+  kLog.debug("run_to_completion: t={} deltas={}", now_, delta_count_);
+}
+
+}  // namespace vhp::sim

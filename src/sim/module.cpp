@@ -1,0 +1,29 @@
+#include "vhp/sim/module.hpp"
+
+#include "vhp/sim/kernel.hpp"
+
+namespace vhp::sim {
+
+Module::Module(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {}
+
+Process& Module::method(const std::string& proc_name,
+                        std::function<void()> fn) {
+  return kernel_.register_process(std::make_unique<MethodProcess>(
+      kernel_, qualify(proc_name), std::move(fn)));
+}
+
+Process& Module::thread(const std::string& proc_name,
+                        std::function<void()> fn, std::size_t stack_bytes) {
+  return kernel_.register_process(std::make_unique<ThreadProcess>(
+      kernel_, qualify(proc_name), std::move(fn), stack_bytes));
+}
+
+BoolSignal& Module::make_bool_signal(const std::string& sig_name, bool init) {
+  auto sig = std::make_unique<BoolSignal>(kernel_, qualify(sig_name), init);
+  auto& ref = *sig;
+  owned_signals_.push_back(std::move(sig));
+  return ref;
+}
+
+}  // namespace vhp::sim

@@ -1,0 +1,139 @@
+#include "vhp/sim/process.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "vhp/sim/kernel.hpp"
+
+namespace vhp::sim {
+
+namespace {
+thread_local ThreadProcess* tls_current_thread = nullptr;
+}
+
+Process::Process(Kernel& kernel, Kind kind, std::string name)
+    : kernel_(kernel), kind_(kind), name_(std::move(name)) {}
+
+Process::~Process() = default;
+
+Process& Process::sensitive(Event& event) {
+  event.static_sensitive_.push_back(this);
+  static_events_.push_back(&event);
+  return *this;
+}
+
+Process& Process::dont_initialize() {
+  initialize_ = false;
+  return *this;
+}
+
+void Process::trigger_from(Event& /*event*/) {
+  if (terminated_ || runnable_) return;
+  // Dynamic sensitivity masks static sensitivity (SystemC semantics).
+  if (dynamic_wait_active_) return;
+  runnable_ = true;
+  kernel_.make_runnable(this);
+}
+
+void Process::trigger_dynamic(Event& event, std::uint64_t token) {
+  if (terminated_ || runnable_) return;
+  if (!dynamic_wait_active_ || token != wait_token_) return;  // stale
+  dynamic_wait_active_ = false;
+  last_dynamic_trigger_ = &event;
+  runnable_ = true;
+  kernel_.make_runnable(this);
+}
+
+MethodProcess::MethodProcess(Kernel& kernel, std::string name,
+                             std::function<void()> fn)
+    : Process(kernel, Kind::kMethod, std::move(name)), fn_(std::move(fn)) {}
+
+void MethodProcess::execute() { fn_(); }
+
+ThreadProcess::ThreadProcess(Kernel& kernel, std::string name,
+                             std::function<void()> fn,
+                             std::size_t stack_bytes)
+    : Process(kernel, Kind::kThread, std::move(name)),
+      fn_(std::move(fn)),
+      fiber_([this] { fn_(); }, stack_bytes),
+      timeout_event_(kernel, name_ + ".timeout") {}
+
+void ThreadProcess::execute() {
+  ThreadProcess* prev = tls_current_thread;
+  tls_current_thread = this;
+  fiber_.resume();
+  tls_current_thread = prev;
+  if (fiber_.finished()) terminated_ = true;
+}
+
+void ThreadProcess::wait_on_event(Event& event) {
+  (void)wait_on_any({&event});
+}
+
+Event* ThreadProcess::wait_on_any(std::initializer_list<Event*> events) {
+  assert(events.size() > 0 && "wait_any needs at least one event");
+  const std::uint64_t token = ++wait_token_;
+  dynamic_wait_active_ = true;
+  last_dynamic_trigger_ = nullptr;
+  for (Event* e : events) e->dynamic_waiters_.emplace_back(this, token);
+  Fiber::yield_to_resumer();
+  // Woken by exactly one of the events; the rest hold stale registrations
+  // that their next trigger discards.
+  return last_dynamic_trigger_;
+}
+
+bool ThreadProcess::wait_on_event_timeout(Event& event, SimTime timeout) {
+  timeout_event_.notify_at(timeout);
+  Event* fired = wait_on_any({&event, &timeout_event_});
+  if (fired == &timeout_event_) return false;
+  timeout_event_.cancel();
+  return true;
+}
+
+void ThreadProcess::wait_for(SimTime delay) {
+  timeout_event_.notify_at(delay);
+  wait_on_event(timeout_event_);
+}
+
+void ThreadProcess::wait_static() {
+  if (static_events_.empty()) {
+    throw std::logic_error("wait() in thread process '" + name_ +
+                           "' with empty static sensitivity would never "
+                           "resume");
+  }
+  Fiber::yield_to_resumer();
+}
+
+void wait(Event& event) {
+  ThreadProcess* tp = tls_current_thread;
+  assert(tp != nullptr && "wait(event) outside a thread process");
+  tp->wait_on_event(event);
+}
+
+void wait(SimTime delay) {
+  ThreadProcess* tp = tls_current_thread;
+  assert(tp != nullptr && "wait(delay) outside a thread process");
+  tp->wait_for(delay);
+}
+
+void wait() {
+  ThreadProcess* tp = tls_current_thread;
+  assert(tp != nullptr && "wait() outside a thread process");
+  tp->wait_static();
+}
+
+Event* wait_any(std::initializer_list<Event*> events) {
+  ThreadProcess* tp = tls_current_thread;
+  assert(tp != nullptr && "wait_any outside a thread process");
+  return tp->wait_on_any(events);
+}
+
+bool wait_with_timeout(Event& event, SimTime timeout) {
+  ThreadProcess* tp = tls_current_thread;
+  assert(tp != nullptr && "wait_with_timeout outside a thread process");
+  return tp->wait_on_event_timeout(event, timeout);
+}
+
+ThreadProcess* current_thread_process() { return tls_current_thread; }
+
+}  // namespace vhp::sim

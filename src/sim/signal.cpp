@@ -1,0 +1,48 @@
+#include "vhp/sim/signal.hpp"
+
+#include "vhp/sim/kernel.hpp"
+
+namespace vhp::sim {
+
+SignalBase::SignalBase(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)),
+      changed_(kernel, name_ + ".changed") {}
+
+SignalBase::~SignalBase() = default;
+
+void SignalBase::request_update() { kernel_.request_update(this); }
+
+void SignalBase::notify_change_hooks() {
+  for (auto& hook : change_hooks_) hook(kernel_.now());
+}
+
+BoolSignal::BoolSignal(Kernel& kernel, std::string name, bool init)
+    : Signal<bool>(kernel, std::move(name), init),
+      posedge_(kernel, this->name() + ".pos"),
+      negedge_(kernel, this->name() + ".neg") {}
+
+void BoolSignal::on_changed() {
+  (cur_ ? posedge_ : negedge_).notify_delta();
+}
+
+Clock::Clock(Kernel& kernel, std::string name, SimTime period,
+             SimTime start_time)
+    : BoolSignal(kernel, std::move(name), false), period_(period),
+      tick_(kernel, this->name() + ".tick") {
+  // The toggling "process" is the tick event itself: a method process
+  // sensitive to it writes the opposite value and re-arms the event.
+  auto proc = std::make_unique<MethodProcess>(
+      kernel, this->name() + ".gen", [this] { toggle(); });
+  proc->sensitive(tick_).dont_initialize();
+  kernel.register_process(std::move(proc));
+  tick_.notify_at(start_time);
+}
+
+void Clock::toggle() {
+  const bool rising = !read();
+  write(rising);
+  // High for the first half period, low for the second.
+  tick_.notify_at(rising ? period_ - period_ / 2 : period_ / 2);
+}
+
+}  // namespace vhp::sim

@@ -1,0 +1,97 @@
+#include "vhp/common/format.hpp"
+
+#include "vhp/sim/trace.hpp"
+
+
+#include "vhp/sim/kernel.hpp"
+
+namespace vhp::sim {
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, shortest-first.
+std::string make_id(unsigned n) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + n % 94));
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+std::string to_binary(u64 value, unsigned width) {
+  std::string s;
+  s.reserve(width);
+  for (unsigned i = width; i-- > 0;) {
+    s.push_back((value >> i) & 1u ? '1' : '0');
+  }
+  // VCD allows dropping leading zeros but requires at least one digit.
+  const auto first_one = s.find('1');
+  return first_one == std::string::npos ? "0" : s.substr(first_one);
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(Kernel& kernel, const std::string& path)
+    : kernel_(kernel), out_(path) {}
+
+VcdWriter::~VcdWriter() { close(); }
+
+std::string VcdWriter::add_var(const std::string& name, unsigned width) {
+  const std::string id = make_id(next_id_++);
+  declarations_.push_back(vhp::strformat("$var wire {} {} {} $end", width, id,
+                                      name));
+  return id;
+}
+
+void VcdWriter::trace(Signal<bool>& signal, const std::string& name) {
+  const std::string id = add_var(name, 1);
+  Signal<bool>* sig = &signal;
+  signal.add_change_hook(
+      [this, sig, id](SimTime t) { record_scalar(t, id, sig->read()); });
+  initial_scalars_.push_back({id, signal.read()});
+}
+
+void VcdWriter::write_header() {
+  out_ << "$date today $end\n$version vhp::sim VcdWriter $end\n"
+       << "$timescale 1ns $end\n$scope module top $end\n";
+  for (const auto& d : declarations_) out_ << d << '\n';
+  out_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (const auto& s : initial_scalars_) {
+    out_ << (s.value ? '1' : '0') << s.id << '\n';
+  }
+  for (const auto& v : initial_vectors_) {
+    out_ << 'b' << to_binary(v.value, v.width) << ' ' << v.id << '\n';
+  }
+  out_ << "$end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::advance_time(SimTime t) {
+  if (!header_written_) write_header();
+  if (!any_change_ || t != last_time_) {
+    out_ << '#' << t << '\n';
+    last_time_ = t;
+    any_change_ = true;
+  }
+}
+
+void VcdWriter::record_scalar(SimTime t, const std::string& id, bool value) {
+  advance_time(t);
+  out_ << (value ? '1' : '0') << id << '\n';
+}
+
+void VcdWriter::record_vector(SimTime t, const std::string& id, u64 value,
+                              unsigned width) {
+  advance_time(t);
+  out_ << 'b' << to_binary(value, width) << ' ' << id << '\n';
+}
+
+void VcdWriter::close() {
+  if (out_.is_open()) {
+    if (!header_written_) write_header();
+    out_ << '#' << kernel_.now() << '\n';
+    out_.close();
+  }
+}
+
+}  // namespace vhp::sim

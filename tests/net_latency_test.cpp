@@ -1,0 +1,115 @@
+// Link-latency emulation tests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "vhp/net/inproc.hpp"
+#include "vhp/net/latency.hpp"
+
+namespace vhp::net {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+std::pair<ChannelPtr, ChannelPtr> emulated_pair(
+    std::chrono::microseconds latency,
+    std::chrono::microseconds jitter = 0us) {
+  auto [a, b] = make_inproc_channel_pair();
+  LinkEmulationConfig cfg;
+  cfg.latency = latency;
+  cfg.jitter = jitter;
+  return {emulate_latency(std::move(a), cfg),
+          emulate_latency(std::move(b), cfg)};
+}
+
+TEST(LatencyChannel, DelaysDelivery) {
+  auto [a, b] = emulated_pair(20ms);
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(a->send(Bytes{1, 2, 3}).ok());
+  auto got = b->recv(1000ms);
+  const auto elapsed = Clock::now() - t0;
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), (Bytes{1, 2, 3}));
+  EXPECT_GE(elapsed, 19ms);  // scheduler slop tolerance
+}
+
+TEST(LatencyChannel, ZeroConfigIsPassThrough) {
+  auto [raw_a, raw_b] = make_inproc_channel_pair();
+  Channel* raw_ptr = raw_a.get();
+  auto wrapped = emulate_latency(std::move(raw_a), LinkEmulationConfig{});
+  // Disabled emulation must not even wrap.
+  EXPECT_EQ(wrapped.get(), raw_ptr);
+}
+
+TEST(LatencyChannel, TryRecvHoldsBackEarlyFrames) {
+  auto [a, b] = emulated_pair(50ms);
+  ASSERT_TRUE(a->send(Bytes{7}).ok());
+  // Immediately after the send the frame exists but is not deliverable.
+  auto early = b->try_recv();
+  ASSERT_TRUE(early.ok());
+  EXPECT_FALSE(early.value().has_value());
+  // After the latency it appears.
+  std::this_thread::sleep_for(60ms);
+  auto late = b->try_recv();
+  ASSERT_TRUE(late.ok());
+  ASSERT_TRUE(late.value().has_value());
+  EXPECT_EQ(*late.value(), Bytes{7});
+}
+
+TEST(LatencyChannel, PreservesOrderAndContent) {
+  auto [a, b] = emulated_pair(1ms, 2ms);  // jitter must not reorder
+  for (u8 i = 0; i < 20; ++i) {
+    ASSERT_TRUE(a->send(Bytes{i}).ok());
+  }
+  for (u8 i = 0; i < 20; ++i) {
+    auto got = b->recv(1000ms);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), Bytes{i});
+  }
+}
+
+TEST(LatencyChannel, EmptyFramesSurvive) {
+  auto [a, b] = emulated_pair(1ms);
+  ASSERT_TRUE(a->send(Bytes{}).ok());
+  auto got = b->recv(1000ms);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().empty());
+}
+
+TEST(LatencyChannel, CloseStillAborts) {
+  auto [a, b] = emulated_pair(1ms);
+  a->close();
+  auto got = b->recv(500ms);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kAborted);
+}
+
+TEST(LatencyChannel, BidirectionalIndependentDelays) {
+  auto [a, b] = emulated_pair(10ms);
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(a->send(Bytes{1}).ok());
+  ASSERT_TRUE(b->send(Bytes{2}).ok());
+  auto fa = b->recv(1000ms);
+  auto fb = a->recv(1000ms);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  // Both directions delayed, but concurrently (one-way, not serialized).
+  EXPECT_LT(Clock::now() - t0, 40ms);
+}
+
+TEST(LatencyLinkPair, WrapsAllChannels) {
+  LinkPair pair = make_inproc_link_pair();
+  LinkEmulationConfig cfg;
+  cfg.latency = 15ms;
+  pair = emulate_latency(std::move(pair), cfg);
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(send_msg(*pair.hw.intr, IntRaise{1}).ok());
+  auto got = recv_msg(*pair.board.intr, 1000ms);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GE(Clock::now() - t0, 14ms);
+}
+
+}  // namespace
+}  // namespace vhp::net

@@ -1,0 +1,180 @@
+// Priority inheritance and OS-state tracing tests.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "vhp/rtos/kernel.hpp"
+#include "vhp/rtos/sync.hpp"
+
+namespace vhp::rtos {
+namespace {
+
+KernelConfig cfg() {
+  KernelConfig c;
+  c.cycles_per_tick = 10;
+  c.timeslice_ticks = 5;
+  return c;
+}
+
+/// The classic priority-inversion scenario:
+///   low acquires the mutex, then high blocks on it, while mid hogs the CPU.
+/// Without inheritance, mid starves low (and therefore high) for its whole
+/// run; with inheritance, low runs at high's priority, releases quickly,
+/// and high finishes before mid.
+std::vector<std::string> run_inversion_scenario(Mutex::Protocol protocol) {
+  Kernel k{cfg()};
+  Mutex mu{k, protocol};
+  std::vector<std::string> completion;
+  k.spawn("low", 20, [&] {
+    mu.lock();
+    k.delay(SwTicks{2});  // let high arrive and block on the mutex
+    k.consume(100);       // critical section: 10 ticks of work
+    mu.unlock();
+    completion.push_back("low");
+  });
+  k.spawn("high", 2, [&] {
+    k.delay(SwTicks{1});  // let low grab the mutex first
+    mu.lock();
+    mu.unlock();
+    completion.push_back("high");
+  });
+  k.spawn("mid", 10, [&] {
+    k.delay(SwTicks{1});
+    k.consume(1000);  // 100 ticks of unrelated CPU hogging
+    completion.push_back("mid");
+  });
+  k.run(true);
+  return completion;
+}
+
+TEST(PriorityInheritance, BoundsInversion) {
+  const auto order = run_inversion_scenario(Mutex::Protocol::kInherit);
+  ASSERT_EQ(order.size(), 3u);
+  // low (boosted) finishes its critical section and high completes before
+  // the mid hog is done.
+  EXPECT_EQ(order[0], "low");
+  EXPECT_EQ(order[1], "high");
+  EXPECT_EQ(order[2], "mid");
+}
+
+TEST(PriorityInheritance, WithoutProtocolInversionHappens) {
+  const auto order = run_inversion_scenario(Mutex::Protocol::kNone);
+  ASSERT_EQ(order.size(), 3u);
+  // mid monopolizes the CPU; high is stuck behind low until mid is done.
+  EXPECT_EQ(order[0], "mid");
+}
+
+TEST(PriorityInheritance, OwnerDeboostsOnUnlock) {
+  Kernel k{cfg()};
+  Mutex mu{k};
+  int prio_during = -1;
+  int prio_after = -1;
+  Thread* low_thread = nullptr;
+  auto& low = k.spawn("low", 20, [&] {
+    mu.lock();
+    k.delay(SwTicks{2});  // high blocks meanwhile
+    prio_during = low_thread->priority();
+    mu.unlock();
+    prio_after = low_thread->priority();
+  });
+  low_thread = &low;
+  k.spawn("high", 2, [&] {
+    k.delay(SwTicks{1});
+    MutexLock lock{mu};
+  });
+  k.spawn("ticker", 25, [&] { k.consume(500); });
+  k.run(true);
+  EXPECT_EQ(prio_during, 2);   // boosted to high's priority
+  EXPECT_EQ(prio_after, 20);   // restored
+  EXPECT_EQ(low.base_priority(), 20);
+}
+
+TEST(PriorityInheritance, NestedMutexesKeepStrongestBoost) {
+  Kernel k{cfg()};
+  Mutex a{k};
+  Mutex b{k};
+  std::vector<int> prio_trace;
+  Thread* low_thread = nullptr;
+  auto& low = k.spawn("low", 20, [&] {
+    a.lock();
+    b.lock();
+    k.delay(SwTicks{2});  // both waiters arrive
+    prio_trace.push_back(low_thread->priority());  // boosted by strongest
+    b.unlock();           // waiter of b had priority 5
+    prio_trace.push_back(low_thread->priority());  // still boosted via a (2)
+    a.unlock();
+    prio_trace.push_back(low_thread->priority());  // fully restored
+  });
+  low_thread = &low;
+  k.spawn("wa", 2, [&] {
+    k.delay(SwTicks{1});
+    MutexLock lock{a};
+  });
+  k.spawn("wb", 5, [&] {
+    k.delay(SwTicks{1});
+    MutexLock lock{b};
+  });
+  k.spawn("ticker", 25, [&] { k.consume(500); });
+  k.run(true);
+  ASSERT_EQ(prio_trace.size(), 3u);
+  EXPECT_EQ(prio_trace[0], 2);
+  EXPECT_EQ(prio_trace[1], 2);
+  EXPECT_EQ(prio_trace[2], 20);
+}
+
+TEST(EventFlagTimed, TimesOut) {
+  Kernel k{cfg()};
+  EventFlag flag{k};
+  std::optional<u32> got = 1u;
+  k.spawn("waiter", 5, [&] { got = flag.wait_any_ticks(0b1, SwTicks{5}); });
+  k.spawn("ticker", 6, [&] { k.consume(200); });
+  k.run(true);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(EventFlagTimed, MatchesBeforeTimeout) {
+  Kernel k{cfg()};
+  EventFlag flag{k};
+  std::optional<u32> got;
+  k.spawn("waiter", 5, [&] { got = flag.wait_any_ticks(0b10, SwTicks{50}); });
+  k.spawn("setter", 6, [&] {
+    k.delay(SwTicks{2});
+    flag.set(0b10);
+  });
+  k.run(true);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 0b10u);
+}
+
+TEST(StateTrace, RecordsFigure4Transitions) {
+  // The paper's Figure 4: Normal -> Idle on budget exhaustion (flag set,
+  // context saved, time sent back), Idle -> Normal on clock packet (grant).
+  KernelConfig c = cfg();
+  c.budget_mode = true;
+  Kernel k{c};
+  std::vector<std::pair<OsState, u64>> transitions;
+  k.set_state_trace([&](OsState s, SwTicks t) {
+    transitions.emplace_back(s, t.value());
+  });
+  int freezes = 0;
+  k.set_freeze_callback([&](SwTicks) {
+    if (++freezes == 3) {
+      k.shutdown();
+    } else {
+      k.grant_cycles(50);  // 5 ticks per quantum
+    }
+  });
+  k.spawn("app", 8, [&] { k.consume(1000); });
+  k.run();
+  // Idle@0, Normal@0, Idle@5, Normal@5, Idle@10.
+  ASSERT_EQ(transitions.size(), 5u);
+  EXPECT_EQ(transitions[0], std::make_pair(OsState::kIdle, u64{0}));
+  EXPECT_EQ(transitions[1], std::make_pair(OsState::kNormal, u64{0}));
+  EXPECT_EQ(transitions[2], std::make_pair(OsState::kIdle, u64{5}));
+  EXPECT_EQ(transitions[3], std::make_pair(OsState::kNormal, u64{5}));
+  EXPECT_EQ(transitions[4], std::make_pair(OsState::kIdle, u64{10}));
+}
+
+}  // namespace
+}  // namespace vhp::rtos

@@ -1,0 +1,243 @@
+// RTOS synchronization tests: wait queues, mutexes, semaphores, event flags,
+// mailboxes, timed waits.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "vhp/rtos/kernel.hpp"
+#include "vhp/rtos/mailbox.hpp"
+#include "vhp/rtos/sync.hpp"
+
+namespace vhp::rtos {
+namespace {
+
+KernelConfig fast_cfg() {
+  KernelConfig cfg;
+  cfg.cycles_per_tick = 10;
+  cfg.timeslice_ticks = 5;
+  return cfg;
+}
+
+TEST(RtosMutex, MutualExclusion) {
+  Kernel k{fast_cfg()};
+  Mutex mu{k};
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 4; ++i) {
+    k.spawn("t" + std::to_string(i), 5, [&] {
+      for (int round = 0; round < 5; ++round) {
+        MutexLock lock{mu};
+        ++inside;
+        max_inside = std::max(max_inside, inside);
+        k.consume(25);  // hold across preemption points
+        --inside;
+      }
+    });
+  }
+  k.run(true);
+  EXPECT_EQ(max_inside, 1);
+}
+
+TEST(RtosMutex, TryLockFailsWhenHeld) {
+  Kernel k{fast_cfg()};
+  Mutex mu{k};
+  bool try_result = true;
+  k.spawn("holder", 4, [&] {
+    MutexLock lock{mu};
+    k.delay(SwTicks{10});
+  });
+  k.spawn("prober", 5, [&] {
+    k.delay(SwTicks{2});  // while the holder sleeps with the lock
+    try_result = mu.try_lock();
+  });
+  k.run(true);
+  EXPECT_FALSE(try_result);
+}
+
+TEST(RtosMutex, FifoHandoff) {
+  Kernel k{fast_cfg()};
+  Mutex mu{k};
+  std::vector<int> order;
+  k.spawn("holder", 3, [&] {
+    mu.lock();
+    k.delay(SwTicks{10});
+    mu.unlock();
+  });
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("w" + std::to_string(i), 5, [&, i] {
+      k.delay(SwTicks{static_cast<u64>(i) + 1});  // queue in order
+      MutexLock lock{mu};
+      order.push_back(i);
+    });
+  }
+  k.run(true);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(RtosSemaphore, CountingBehavior) {
+  Kernel k{fast_cfg()};
+  Semaphore sem{k, 2};
+  EXPECT_TRUE(sem.try_wait());
+  EXPECT_TRUE(sem.try_wait());
+  EXPECT_FALSE(sem.try_wait());
+  sem.post();
+  EXPECT_EQ(sem.count(), 1u);
+  EXPECT_TRUE(sem.try_wait());
+}
+
+TEST(RtosSemaphore, ProducerConsumer) {
+  Kernel k{fast_cfg()};
+  Semaphore items{k, 0};
+  std::vector<int> consumed;
+  int produced = 0;
+  k.spawn("producer", 5, [&] {
+    for (int i = 0; i < 10; ++i) {
+      k.consume(15);
+      ++produced;
+      items.post();
+    }
+  });
+  k.spawn("consumer", 4, [&] {
+    for (int i = 0; i < 10; ++i) {
+      items.wait();
+      consumed.push_back(produced);
+    }
+  });
+  k.run(true);
+  EXPECT_EQ(consumed.size(), 10u);
+}
+
+TEST(RtosSemaphore, TimedWaitTimesOut) {
+  Kernel k{fast_cfg()};
+  Semaphore sem{k, 0};
+  bool got = true;
+  u64 woke_tick = 0;
+  k.spawn("waiter", 5, [&] {
+    got = sem.wait_ticks(SwTicks{7});
+    woke_tick = k.tick_count().value();
+  });
+  k.spawn("clock", 6, [&] { k.consume(500); });  // drives time
+  k.run(true);
+  EXPECT_FALSE(got);
+  EXPECT_EQ(woke_tick, 7u);
+}
+
+TEST(RtosSemaphore, TimedWaitSucceedsBeforeTimeout) {
+  Kernel k{fast_cfg()};
+  Semaphore sem{k, 0};
+  bool got = false;
+  k.spawn("poster", 4, [&] {
+    k.delay(SwTicks{3});
+    sem.post();
+  });
+  k.spawn("waiter", 5, [&] { got = sem.wait_ticks(SwTicks{100}); });
+  k.run(true);
+  EXPECT_TRUE(got);
+  EXPECT_LT(k.tick_count().value(), 100u);
+}
+
+TEST(RtosEventFlag, WaitAnyMatchesAndClears) {
+  Kernel k{fast_cfg()};
+  EventFlag flag{k};
+  u32 matched = 0;
+  k.spawn("waiter", 5, [&] { matched = flag.wait_any(0b0110); });
+  k.spawn("setter", 6, [&] {
+    flag.set(0b0001);  // no match
+    k.delay(SwTicks{1});
+    flag.set(0b0100);  // match
+  });
+  k.run(true);
+  EXPECT_EQ(matched, 0b0100u);
+  EXPECT_EQ(flag.peek(), 0b0001u);  // unmatched bit remains
+}
+
+TEST(RtosMailbox, BlockingPutGet) {
+  Kernel k{fast_cfg()};
+  Mailbox<int> box{k, 2};
+  std::vector<int> got;
+  k.spawn("producer", 5, [&] {
+    for (int i = 1; i <= 6; ++i) box.put(i);  // blocks on full
+  });
+  k.spawn("consumer", 6, [&] {
+    for (int i = 0; i < 6; ++i) {
+      got.push_back(box.get());
+      k.consume(20);
+    }
+  });
+  k.run(true);
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(RtosMailbox, TryVariants) {
+  Kernel k{fast_cfg()};
+  Mailbox<int> box{k, 1};
+  k.spawn("t", 5, [&] {
+    EXPECT_FALSE(box.try_get().has_value());
+    EXPECT_TRUE(box.try_put(1));
+    EXPECT_FALSE(box.try_put(2));  // full
+    auto v = box.try_get();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 1);
+  });
+  k.run(true);
+}
+
+TEST(RtosMailbox, TimedGetTimesOut) {
+  Kernel k{fast_cfg()};
+  Mailbox<int> box{k, 4};
+  std::optional<int> got = 1;
+  k.spawn("waiter", 5, [&] { got = box.get_ticks(SwTicks{5}); });
+  k.spawn("clock", 6, [&] { k.consume(200); });
+  k.run(true);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(RtosMailbox, TimedPutTimesOutWhenFull) {
+  Kernel k{fast_cfg()};
+  Mailbox<int> box{k, 1};
+  bool second = true;
+  k.spawn("producer", 5, [&] {
+    ASSERT_TRUE(box.put_ticks(1, SwTicks{5}));
+    second = box.put_ticks(2, SwTicks{5});  // full, nobody drains
+  });
+  k.spawn("clock", 6, [&] { k.consume(200); });
+  k.run(true);
+  EXPECT_FALSE(second);
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(RtosMailbox, TimedPutSucceedsWhenDrained) {
+  Kernel k{fast_cfg()};
+  Mailbox<int> box{k, 1};
+  bool second = false;
+  k.spawn("producer", 5, [&] {
+    ASSERT_TRUE(box.put_ticks(1, SwTicks{50}));
+    second = box.put_ticks(2, SwTicks{50});
+  });
+  k.spawn("consumer", 4, [&] {
+    k.delay(SwTicks{3});
+    (void)box.get();
+  });
+  k.run(true);
+  EXPECT_TRUE(second);
+}
+
+TEST(RtosMailbox, MovesOwnershipOfPayload) {
+  Kernel k{fast_cfg()};
+  Mailbox<std::unique_ptr<int>> box{k, 2};
+  int sum = 0;
+  k.spawn("producer", 5, [&] {
+    box.put(std::make_unique<int>(20));
+    box.put(std::make_unique<int>(22));
+  });
+  k.spawn("consumer", 6, [&] {
+    sum += *box.get();
+    sum += *box.get();
+  });
+  k.run(true);
+  EXPECT_EQ(sum, 42);
+}
+
+}  // namespace
+}  // namespace vhp::rtos

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_data_poll"
+  "../bench/abl_data_poll.pdb"
+  "CMakeFiles/abl_data_poll.dir/abl_data_poll.cpp.o"
+  "CMakeFiles/abl_data_poll.dir/abl_data_poll.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_data_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sw_timing"
+  "../bench/abl_sw_timing.pdb"
+  "CMakeFiles/abl_sw_timing.dir/abl_sw_timing.cpp.o"
+  "CMakeFiles/abl_sw_timing.dir/abl_sw_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sw_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

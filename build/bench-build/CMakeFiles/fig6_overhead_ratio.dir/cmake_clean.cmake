@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_overhead_ratio"
+  "../bench/fig6_overhead_ratio.pdb"
+  "CMakeFiles/fig6_overhead_ratio.dir/fig6_overhead_ratio.cpp.o"
+  "CMakeFiles/fig6_overhead_ratio.dir/fig6_overhead_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_overhead_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

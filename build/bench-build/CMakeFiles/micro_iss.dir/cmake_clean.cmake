@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_iss"
+  "../bench/micro_iss.pdb"
+  "CMakeFiles/micro_iss.dir/micro_iss.cpp.o"
+  "CMakeFiles/micro_iss.dir/micro_iss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_rtos"
+  "../bench/micro_rtos.pdb"
+  "CMakeFiles/micro_rtos.dir/micro_rtos.cpp.o"
+  "CMakeFiles/micro_rtos.dir/micro_rtos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sim_kernel"
+  "../bench/micro_sim_kernel.pdb"
+  "CMakeFiles/micro_sim_kernel.dir/micro_sim_kernel.cpp.o"
+  "CMakeFiles/micro_sim_kernel.dir/micro_sim_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

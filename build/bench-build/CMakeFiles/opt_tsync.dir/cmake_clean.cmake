@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/opt_tsync"
+  "../bench/opt_tsync.pdb"
+  "CMakeFiles/opt_tsync.dir/opt_tsync.cpp.o"
+  "CMakeFiles/opt_tsync.dir/opt_tsync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_spotchecks"
+  "../bench/table_spotchecks.pdb"
+  "CMakeFiles/table_spotchecks.dir/table_spotchecks.cpp.o"
+  "CMakeFiles/table_spotchecks.dir/table_spotchecks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_spotchecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/design_exploration.cpp" "examples/CMakeFiles/design_exploration.dir/design_exploration.cpp.o" "gcc" "examples/CMakeFiles/design_exploration.dir/design_exploration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/vhp_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/vhp_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosim/CMakeFiles/vhp_cosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/vhp_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/vhp_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/vhp_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vhp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

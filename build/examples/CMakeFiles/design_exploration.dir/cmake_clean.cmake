@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_exploration.dir/design_exploration.cpp.o"
+  "CMakeFiles/design_exploration.dir/design_exploration.cpp.o.d"
+  "design_exploration"
+  "design_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_offload.dir/dma_offload.cpp.o"
+  "CMakeFiles/dma_offload.dir/dma_offload.cpp.o.d"
+  "dma_offload"
+  "dma_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdl_sim_demo.dir/hdl_sim_demo.cpp.o"
+  "CMakeFiles/hdl_sim_demo.dir/hdl_sim_demo.cpp.o.d"
+  "hdl_sim_demo"
+  "hdl_sim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdl_sim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

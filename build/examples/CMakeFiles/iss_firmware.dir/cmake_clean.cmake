@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iss_firmware.dir/iss_firmware.cpp.o"
+  "CMakeFiles/iss_firmware.dir/iss_firmware.cpp.o.d"
+  "iss_firmware"
+  "iss_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iss_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

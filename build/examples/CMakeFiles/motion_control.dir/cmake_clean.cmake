@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_control.dir/motion_control.cpp.o"
+  "CMakeFiles/motion_control.dir/motion_control.cpp.o.d"
+  "motion_control"
+  "motion_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_cosim.dir/router_cosim.cpp.o"
+  "CMakeFiles/router_cosim.dir/router_cosim.cpp.o.d"
+  "router_cosim"
+  "router_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

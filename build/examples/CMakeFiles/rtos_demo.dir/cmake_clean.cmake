@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtos_demo.dir/rtos_demo.cpp.o"
+  "CMakeFiles/rtos_demo.dir/rtos_demo.cpp.o.d"
+  "rtos_demo"
+  "rtos_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtos_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

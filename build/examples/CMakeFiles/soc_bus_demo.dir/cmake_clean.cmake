@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_bus_demo.dir/soc_bus_demo.cpp.o"
+  "CMakeFiles/soc_bus_demo.dir/soc_bus_demo.cpp.o.d"
+  "soc_bus_demo"
+  "soc_bus_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_bus_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

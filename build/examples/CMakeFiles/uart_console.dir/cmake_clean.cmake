@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uart_console.dir/uart_console.cpp.o"
+  "CMakeFiles/uart_console.dir/uart_console.cpp.o.d"
+  "uart_console"
+  "uart_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uart_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

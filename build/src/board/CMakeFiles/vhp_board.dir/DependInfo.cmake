@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/board/board.cpp" "src/board/CMakeFiles/vhp_board.dir/board.cpp.o" "gcc" "src/board/CMakeFiles/vhp_board.dir/board.cpp.o.d"
+  "/root/repo/src/board/channel_waiter.cpp" "src/board/CMakeFiles/vhp_board.dir/channel_waiter.cpp.o" "gcc" "src/board/CMakeFiles/vhp_board.dir/channel_waiter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtos/CMakeFiles/vhp_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vhp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

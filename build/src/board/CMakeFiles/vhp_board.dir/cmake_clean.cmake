@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhp_board.dir/board.cpp.o"
+  "CMakeFiles/vhp_board.dir/board.cpp.o.d"
+  "CMakeFiles/vhp_board.dir/channel_waiter.cpp.o"
+  "CMakeFiles/vhp_board.dir/channel_waiter.cpp.o.d"
+  "libvhp_board.a"
+  "libvhp_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhp_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhp_common.dir/bytes.cpp.o"
+  "CMakeFiles/vhp_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/vhp_common.dir/checksum.cpp.o"
+  "CMakeFiles/vhp_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/vhp_common.dir/fiber.cpp.o"
+  "CMakeFiles/vhp_common.dir/fiber.cpp.o.d"
+  "CMakeFiles/vhp_common.dir/log.cpp.o"
+  "CMakeFiles/vhp_common.dir/log.cpp.o.d"
+  "CMakeFiles/vhp_common.dir/status.cpp.o"
+  "CMakeFiles/vhp_common.dir/status.cpp.o.d"
+  "libvhp_common.a"
+  "libvhp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

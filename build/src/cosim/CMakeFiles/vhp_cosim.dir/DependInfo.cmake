@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosim/cosim_kernel.cpp" "src/cosim/CMakeFiles/vhp_cosim.dir/cosim_kernel.cpp.o" "gcc" "src/cosim/CMakeFiles/vhp_cosim.dir/cosim_kernel.cpp.o.d"
+  "/root/repo/src/cosim/driver_port.cpp" "src/cosim/CMakeFiles/vhp_cosim.dir/driver_port.cpp.o" "gcc" "src/cosim/CMakeFiles/vhp_cosim.dir/driver_port.cpp.o.d"
+  "/root/repo/src/cosim/session.cpp" "src/cosim/CMakeFiles/vhp_cosim.dir/session.cpp.o" "gcc" "src/cosim/CMakeFiles/vhp_cosim.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vhp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/vhp_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vhp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/vhp_rtos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

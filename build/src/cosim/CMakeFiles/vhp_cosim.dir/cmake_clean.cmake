@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhp_cosim.dir/cosim_kernel.cpp.o"
+  "CMakeFiles/vhp_cosim.dir/cosim_kernel.cpp.o.d"
+  "CMakeFiles/vhp_cosim.dir/driver_port.cpp.o"
+  "CMakeFiles/vhp_cosim.dir/driver_port.cpp.o.d"
+  "CMakeFiles/vhp_cosim.dir/session.cpp.o"
+  "CMakeFiles/vhp_cosim.dir/session.cpp.o.d"
+  "libvhp_cosim.a"
+  "libvhp_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhp_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

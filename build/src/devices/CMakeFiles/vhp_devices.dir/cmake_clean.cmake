@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhp_devices.dir/uart.cpp.o"
+  "CMakeFiles/vhp_devices.dir/uart.cpp.o.d"
+  "CMakeFiles/vhp_devices.dir/uart_driver.cpp.o"
+  "CMakeFiles/vhp_devices.dir/uart_driver.cpp.o.d"
+  "libvhp_devices.a"
+  "libvhp_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhp_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

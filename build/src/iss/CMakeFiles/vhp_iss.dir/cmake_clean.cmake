@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhp_iss.dir/assemble.cpp.o"
+  "CMakeFiles/vhp_iss.dir/assemble.cpp.o.d"
+  "CMakeFiles/vhp_iss.dir/cpu.cpp.o"
+  "CMakeFiles/vhp_iss.dir/cpu.cpp.o.d"
+  "CMakeFiles/vhp_iss.dir/runner.cpp.o"
+  "CMakeFiles/vhp_iss.dir/runner.cpp.o.d"
+  "libvhp_iss.a"
+  "libvhp_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhp_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvhp_iss.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhp_net.dir/channel.cpp.o"
+  "CMakeFiles/vhp_net.dir/channel.cpp.o.d"
+  "CMakeFiles/vhp_net.dir/inproc.cpp.o"
+  "CMakeFiles/vhp_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/vhp_net.dir/latency.cpp.o"
+  "CMakeFiles/vhp_net.dir/latency.cpp.o.d"
+  "CMakeFiles/vhp_net.dir/message.cpp.o"
+  "CMakeFiles/vhp_net.dir/message.cpp.o.d"
+  "CMakeFiles/vhp_net.dir/tcp.cpp.o"
+  "CMakeFiles/vhp_net.dir/tcp.cpp.o.d"
+  "libvhp_net.a"
+  "libvhp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

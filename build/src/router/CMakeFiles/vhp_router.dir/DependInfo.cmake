@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/router/checksum_app.cpp" "src/router/CMakeFiles/vhp_router.dir/checksum_app.cpp.o" "gcc" "src/router/CMakeFiles/vhp_router.dir/checksum_app.cpp.o.d"
+  "/root/repo/src/router/packet.cpp" "src/router/CMakeFiles/vhp_router.dir/packet.cpp.o" "gcc" "src/router/CMakeFiles/vhp_router.dir/packet.cpp.o.d"
+  "/root/repo/src/router/router.cpp" "src/router/CMakeFiles/vhp_router.dir/router.cpp.o" "gcc" "src/router/CMakeFiles/vhp_router.dir/router.cpp.o.d"
+  "/root/repo/src/router/testbench.cpp" "src/router/CMakeFiles/vhp_router.dir/testbench.cpp.o" "gcc" "src/router/CMakeFiles/vhp_router.dir/testbench.cpp.o.d"
+  "/root/repo/src/router/traffic.cpp" "src/router/CMakeFiles/vhp_router.dir/traffic.cpp.o" "gcc" "src/router/CMakeFiles/vhp_router.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosim/CMakeFiles/vhp_cosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/vhp_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vhp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/vhp_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vhp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

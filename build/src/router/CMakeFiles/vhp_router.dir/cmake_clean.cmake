@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhp_router.dir/checksum_app.cpp.o"
+  "CMakeFiles/vhp_router.dir/checksum_app.cpp.o.d"
+  "CMakeFiles/vhp_router.dir/packet.cpp.o"
+  "CMakeFiles/vhp_router.dir/packet.cpp.o.d"
+  "CMakeFiles/vhp_router.dir/router.cpp.o"
+  "CMakeFiles/vhp_router.dir/router.cpp.o.d"
+  "CMakeFiles/vhp_router.dir/testbench.cpp.o"
+  "CMakeFiles/vhp_router.dir/testbench.cpp.o.d"
+  "CMakeFiles/vhp_router.dir/traffic.cpp.o"
+  "CMakeFiles/vhp_router.dir/traffic.cpp.o.d"
+  "libvhp_router.a"
+  "libvhp_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhp_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtos/device.cpp" "src/rtos/CMakeFiles/vhp_rtos.dir/device.cpp.o" "gcc" "src/rtos/CMakeFiles/vhp_rtos.dir/device.cpp.o.d"
+  "/root/repo/src/rtos/interrupt.cpp" "src/rtos/CMakeFiles/vhp_rtos.dir/interrupt.cpp.o" "gcc" "src/rtos/CMakeFiles/vhp_rtos.dir/interrupt.cpp.o.d"
+  "/root/repo/src/rtos/kernel.cpp" "src/rtos/CMakeFiles/vhp_rtos.dir/kernel.cpp.o" "gcc" "src/rtos/CMakeFiles/vhp_rtos.dir/kernel.cpp.o.d"
+  "/root/repo/src/rtos/scheduler.cpp" "src/rtos/CMakeFiles/vhp_rtos.dir/scheduler.cpp.o" "gcc" "src/rtos/CMakeFiles/vhp_rtos.dir/scheduler.cpp.o.d"
+  "/root/repo/src/rtos/sync.cpp" "src/rtos/CMakeFiles/vhp_rtos.dir/sync.cpp.o" "gcc" "src/rtos/CMakeFiles/vhp_rtos.dir/sync.cpp.o.d"
+  "/root/repo/src/rtos/thread.cpp" "src/rtos/CMakeFiles/vhp_rtos.dir/thread.cpp.o" "gcc" "src/rtos/CMakeFiles/vhp_rtos.dir/thread.cpp.o.d"
+  "/root/repo/src/rtos/timer.cpp" "src/rtos/CMakeFiles/vhp_rtos.dir/timer.cpp.o" "gcc" "src/rtos/CMakeFiles/vhp_rtos.dir/timer.cpp.o.d"
+  "/root/repo/src/rtos/wait_queue.cpp" "src/rtos/CMakeFiles/vhp_rtos.dir/wait_queue.cpp.o" "gcc" "src/rtos/CMakeFiles/vhp_rtos.dir/wait_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

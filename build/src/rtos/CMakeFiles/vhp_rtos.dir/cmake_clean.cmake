@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhp_rtos.dir/device.cpp.o"
+  "CMakeFiles/vhp_rtos.dir/device.cpp.o.d"
+  "CMakeFiles/vhp_rtos.dir/interrupt.cpp.o"
+  "CMakeFiles/vhp_rtos.dir/interrupt.cpp.o.d"
+  "CMakeFiles/vhp_rtos.dir/kernel.cpp.o"
+  "CMakeFiles/vhp_rtos.dir/kernel.cpp.o.d"
+  "CMakeFiles/vhp_rtos.dir/scheduler.cpp.o"
+  "CMakeFiles/vhp_rtos.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vhp_rtos.dir/sync.cpp.o"
+  "CMakeFiles/vhp_rtos.dir/sync.cpp.o.d"
+  "CMakeFiles/vhp_rtos.dir/thread.cpp.o"
+  "CMakeFiles/vhp_rtos.dir/thread.cpp.o.d"
+  "CMakeFiles/vhp_rtos.dir/timer.cpp.o"
+  "CMakeFiles/vhp_rtos.dir/timer.cpp.o.d"
+  "CMakeFiles/vhp_rtos.dir/wait_queue.cpp.o"
+  "CMakeFiles/vhp_rtos.dir/wait_queue.cpp.o.d"
+  "libvhp_rtos.a"
+  "libvhp_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhp_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus.cpp" "src/sim/CMakeFiles/vhp_sim.dir/bus.cpp.o" "gcc" "src/sim/CMakeFiles/vhp_sim.dir/bus.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/vhp_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/vhp_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/vhp_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/vhp_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/vhp_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/vhp_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/module.cpp" "src/sim/CMakeFiles/vhp_sim.dir/module.cpp.o" "gcc" "src/sim/CMakeFiles/vhp_sim.dir/module.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/sim/CMakeFiles/vhp_sim.dir/process.cpp.o" "gcc" "src/sim/CMakeFiles/vhp_sim.dir/process.cpp.o.d"
+  "/root/repo/src/sim/signal.cpp" "src/sim/CMakeFiles/vhp_sim.dir/signal.cpp.o" "gcc" "src/sim/CMakeFiles/vhp_sim.dir/signal.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/vhp_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/vhp_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhp_sim.dir/bus.cpp.o"
+  "CMakeFiles/vhp_sim.dir/bus.cpp.o.d"
+  "CMakeFiles/vhp_sim.dir/event.cpp.o"
+  "CMakeFiles/vhp_sim.dir/event.cpp.o.d"
+  "CMakeFiles/vhp_sim.dir/kernel.cpp.o"
+  "CMakeFiles/vhp_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/vhp_sim.dir/memory.cpp.o"
+  "CMakeFiles/vhp_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/vhp_sim.dir/module.cpp.o"
+  "CMakeFiles/vhp_sim.dir/module.cpp.o.d"
+  "CMakeFiles/vhp_sim.dir/process.cpp.o"
+  "CMakeFiles/vhp_sim.dir/process.cpp.o.d"
+  "CMakeFiles/vhp_sim.dir/signal.cpp.o"
+  "CMakeFiles/vhp_sim.dir/signal.cpp.o.d"
+  "CMakeFiles/vhp_sim.dir/trace.cpp.o"
+  "CMakeFiles/vhp_sim.dir/trace.cpp.o.d"
+  "libvhp_sim.a"
+  "libvhp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidevice_test.dir/multidevice_test.cpp.o"
+  "CMakeFiles/multidevice_test.dir/multidevice_test.cpp.o.d"
+  "multidevice_test"
+  "multidevice_test.pdb"
+  "multidevice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidevice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtos_budget_test.dir/rtos_budget_test.cpp.o"
+  "CMakeFiles/rtos_budget_test.dir/rtos_budget_test.cpp.o.d"
+  "rtos_budget_test"
+  "rtos_budget_test.pdb"
+  "rtos_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtos_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtos_core_test.dir/rtos_core_test.cpp.o"
+  "CMakeFiles/rtos_core_test.dir/rtos_core_test.cpp.o.d"
+  "rtos_core_test"
+  "rtos_core_test.pdb"
+  "rtos_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtos_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtos_pi_test.dir/rtos_pi_test.cpp.o"
+  "CMakeFiles/rtos_pi_test.dir/rtos_pi_test.cpp.o.d"
+  "rtos_pi_test"
+  "rtos_pi_test.pdb"
+  "rtos_pi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtos_pi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

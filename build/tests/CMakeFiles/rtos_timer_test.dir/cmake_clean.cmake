@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtos_timer_test.dir/rtos_timer_test.cpp.o"
+  "CMakeFiles/rtos_timer_test.dir/rtos_timer_test.cpp.o.d"
+  "rtos_timer_test"
+  "rtos_timer_test.pdb"
+  "rtos_timer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtos_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uart_test.dir/uart_test.cpp.o"
+  "CMakeFiles/uart_test.dir/uart_test.cpp.o.d"
+  "uart_test"
+  "uart_test.pdb"
+  "uart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

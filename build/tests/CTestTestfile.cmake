@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/fiber_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rtos_core_test[1]_include.cmake")
+include("/root/repo/build/tests/rtos_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/rtos_timer_test[1]_include.cmake")
+include("/root/repo/build/tests/rtos_budget_test[1]_include.cmake")
+include("/root/repo/build/tests/cosim_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/router_test[1]_include.cmake")
+include("/root/repo/build/tests/board_test[1]_include.cmake")
+include("/root/repo/build/tests/rtos_pi_test[1]_include.cmake")
+include("/root/repo/build/tests/net_latency_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/iss_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/multidevice_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_log_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_bus_test[1]_include.cmake")
+include("/root/repo/build/tests/uart_test[1]_include.cmake")

@@ -6,9 +6,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "vhp/common/format.hpp"
 #include "vhp/cosim/session.hpp"
 #include "vhp/router/checksum_app.hpp"
 #include "vhp/router/testbench.hpp"
@@ -37,6 +41,12 @@ struct ExperimentParams {
   /// (0 = raw loopback); see net/latency.hpp.
   u64 link_latency_us = 0;
   u64 seed = 42;
+  /// Turn on the costly vhp::obs instruments (tracing, stall profiling,
+  /// per-frame link accounting) for this run. Off by default: the figure
+  /// benches measure wall time, and profiling perturbs what they measure.
+  /// Metric counters are always live either way and always land in
+  /// ExperimentResult::metrics_json.
+  bool observability = false;
 
   /// Simulated work matched to the traffic: generation span + a drain tail.
   [[nodiscard]] u64 traffic_span_cycles() const {
@@ -54,6 +64,9 @@ struct ExperimentResult {
   u64 syncs = 0;
   u64 interrupts = 0;
   bool drained = false;
+  /// Full vhp::obs metrics dump of the run (counters both sides of the
+  /// link, RTOS totals, stall buckets when observability was on).
+  std::string metrics_json;
 
   [[nodiscard]] double accuracy() const {
     return emitted == 0 ? 1.0
@@ -73,6 +86,7 @@ inline ExperimentResult run_router_experiment(const ExperimentParams& p) {
   }
   cfg.link_emulation.latency = std::chrono::microseconds{p.link_latency_us};
   cfg.board.rtos.cycles_per_tick = 10;
+  cfg.obs.enabled = p.observability;
   cosim::CosimSession session{cfg};
 
   router::TestbenchConfig tb_cfg;
@@ -122,7 +136,51 @@ inline ExperimentResult run_router_experiment(const ExperimentParams& p) {
   r.syncs = session.hw().stats().syncs;
   r.interrupts = session.hw().stats().interrupts_sent;
   r.drained = tb.traffic_done();
+  r.metrics_json = session.obs().metrics_json();
   return r;
+}
+
+/// One row of a self-describing BENCH_*.json trajectory: the sweep point,
+/// its headline result, and the full metrics dump of that run.
+struct JsonRow {
+  std::string params;   // JSON object body, e.g. "\"n\":20,\"t_sync\":1000"
+  double wall_seconds = 0;
+  std::string metrics_json;
+};
+
+/// Writes {"bench":name,"rows":[{<params>,"wall_seconds":s,"metrics":{...}}]}.
+inline bool write_bench_json(const std::string& path, const std::string& name,
+                             const std::vector<JsonRow>& rows) {
+  std::ostringstream out;
+  out << "{\"bench\":\"" << name << "\",\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{" << rows[i].params << ",\"wall_seconds\":"
+        << rows[i].wall_seconds << ",\"metrics\":" << rows[i].metrics_json
+        << "}";
+  }
+  out << "]}";
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << out.str();
+  return static_cast<bool>(f);
+}
+
+/// --json PATH override; `fallback` otherwise.
+inline std::string json_output_path(int argc, char** argv,
+                                    const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// True when invoked with --obs (enable costly instruments in the runs).
+inline bool obs_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--obs") return true;
+  }
+  return false;
 }
 
 /// True when invoked with --quick (CI-friendly reduced sweeps).

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   std::printf("   t(1000)/t(10000)\n");
 
   std::vector<std::vector<double>> table(ns.size());
+  std::vector<JsonRow> rows;
   for (std::size_t i = 0; i < ns.size(); ++i) {
     std::printf("%8llu", (unsigned long long)ns[i]);
     for (u64 ts : t_syncs) {
@@ -45,12 +46,23 @@ int main(int argc, char** argv) {
       p.gap_cycles = gap;
       p.fixed_cycles = (ns[i] / 4) * gap;  // exactly proportional to N
       p.link_latency_us = 5000;
+      p.observability = obs_mode(argc, argv);
       auto r = run_router_experiment(p);
       table[i].push_back(r.wall_seconds);
+      rows.push_back(JsonRow{
+          strformat("\"n\":{},\"t_sync\":{}", ns[i], ts), r.wall_seconds,
+          std::move(r.metrics_json)});
       std::printf("  %10.4fs ", r.wall_seconds);
       std::fflush(stdout);
     }
     std::printf("  %8.2f\n", table[i][0] / table[i][2]);
+  }
+  const std::string json_path =
+      json_output_path(argc, argv, "fig5_overhead.metrics.json");
+  if (write_bench_json(json_path, "fig5_overhead", rows)) {
+    std::printf("\nwrote %s (per-run vhp::obs metrics)\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "\nerror: could not write %s\n", json_path.c_str());
   }
 
   // Linearity check: time(N)/N should be roughly constant per curve.

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
     double accuracy;
   };
   std::vector<Row> rows;
+  std::vector<JsonRow> json_rows;
   for (u64 ts : t_syncs) {
     ExperimentParams p;
     p.n_packets = n;
@@ -37,8 +38,13 @@ int main(int argc, char** argv) {
     p.gap_cycles = 8000;
     p.buffer_depth = 4;
     p.max_cycles = 1500000;
+    p.observability = obs_mode(argc, argv);
     auto r = run_router_experiment(p);
     rows.push_back({ts, r.wall_seconds, r.accuracy()});
+    json_rows.push_back(JsonRow{
+        strformat("\"n\":{},\"t_sync\":{},\"accuracy\":{}", n, ts,
+                  r.accuracy()),
+        r.wall_seconds, std::move(r.metrics_json)});
     slowest = std::max(slowest, r.wall_seconds);
   }
 
@@ -61,5 +67,12 @@ int main(int argc, char** argv) {
               (unsigned long long)best_ts, best_score);
   std::printf("paper shape: interior optimum — overhead favours large "
               "T_sync, accuracy favours small\n");
+  const std::string json_path =
+      json_output_path(argc, argv, "opt_tsync.metrics.json");
+  if (write_bench_json(json_path, "opt_tsync", json_rows)) {
+    std::printf("wrote %s (per-run vhp::obs metrics)\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+  }
   return 0;
 }

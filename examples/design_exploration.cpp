@@ -24,10 +24,11 @@ struct Sample {
 };
 
 Sample explore(u64 t_sync, u64 n_packets) {
-  cosim::SessionConfig cfg;
-  cfg.transport = cosim::TransportKind::kTcp;
-  cfg.cosim.t_sync = t_sync;
-  cfg.board.rtos.cycles_per_tick = 10;
+  const auto cfg = cosim::SessionConfigBuilder{}
+                       .tcp()
+                       .t_sync(t_sync)
+                       .cycles_per_tick(10)
+                       .build_or_throw();
   cosim::CosimSession session{cfg};
 
   router::TestbenchConfig tb_cfg;

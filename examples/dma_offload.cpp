@@ -135,10 +135,11 @@ Bytes encode_window_write(u32 addr, std::span<const u8> data) {
 }  // namespace
 
 int main() {
-  cosim::SessionConfig cfg;
-  cfg.transport = cosim::TransportKind::kTcp;
-  cfg.cosim.t_sync = 200;
-  cfg.board.rtos.cycles_per_tick = 10;
+  const auto cfg = cosim::SessionConfigBuilder{}
+                       .tcp()
+                       .t_sync(200)
+                       .cycles_per_tick(10)
+                       .build_or_throw();
   cosim::CosimSession session{cfg};
 
   DmaEngine dma{session.hw(), /*bytes per cycle=*/1};

@@ -58,10 +58,11 @@ struct MotorDrive : sim::Module {
 }  // namespace
 
 int main() {
-  cosim::SessionConfig cfg;
-  cfg.transport = cosim::TransportKind::kTcp;
-  cfg.cosim.t_sync = 100;
-  cfg.board.rtos.cycles_per_tick = 10;  // 1 board tick = 10 clock cycles
+  const auto cfg = cosim::SessionConfigBuilder{}
+                       .tcp()
+                       .t_sync(100)
+                       .cycles_per_tick(10)  // 1 board tick = 10 clock cycles
+                       .build_or_throw();
   cosim::CosimSession session{cfg};
 
   MotorDrive motor{session.hw()};

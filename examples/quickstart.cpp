@@ -52,9 +52,10 @@ struct IncrementDevice : sim::Module {
 
 int main() {
   // 1. Wire the two sides together (TCP loopback, as in the paper's setup).
-  cosim::SessionConfig cfg;
-  cfg.transport = cosim::TransportKind::kTcp;
-  cfg.cosim.t_sync = 100;  // synchronize every 100 clock cycles
+  const auto cfg = cosim::SessionConfigBuilder{}
+                       .tcp()
+                       .t_sync(100)  // synchronize every 100 clock cycles
+                       .build_or_throw();
   cosim::CosimSession session{cfg};
 
   // 2. Build the HDL model against the (modified) simulation kernel.

@@ -18,6 +18,7 @@
 #include "vhp/board/channel_waiter.hpp"
 #include "vhp/common/log.hpp"
 #include "vhp/net/channel.hpp"
+#include "vhp/obs/hub.hpp"
 #include "vhp/rtos/device.hpp"
 #include "vhp/rtos/kernel.hpp"
 #include "vhp/rtos/sync.hpp"
@@ -45,7 +46,10 @@ class Board {
   /// Devtab name of the remote simulated device.
   static constexpr const char* kDeviceName = "/dev/sysc";
 
-  Board(BoardConfig config, net::CosimLink link);
+  /// `hub` is the session's observability hub; nullptr (standalone wiring,
+  /// unit tests) gets a private hub with tracing disabled — metric counters
+  /// still run, they back stats().
+  Board(BoardConfig config, net::CosimLink link, obs::Hub* hub = nullptr);
   ~Board();
 
   Board(const Board&) = delete;
@@ -85,6 +89,10 @@ class Board {
   /// kernel().shutdown()). Call on the board's host thread.
   void run();
 
+  [[nodiscard]] obs::Hub& obs() { return *hub_; }
+
+  /// Compatibility view over the metrics registry (the counters live under
+  /// "board.*"); returned by value as a snapshot.
   struct Stats {
     u64 interrupts_received = 0;
     u64 clock_ticks_received = 0;
@@ -92,7 +100,10 @@ class Board {
     u64 dev_reads = 0;
     u64 dev_writes = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    return Stats{interrupts_received_.value(), clock_ticks_received_.value(),
+                 acks_sent_.value(), dev_reads_.value(), dev_writes_.value()};
+  }
 
  private:
   void systemc_thread_body();
@@ -102,6 +113,16 @@ class Board {
   BoardConfig config_;
   net::CosimLink link_;
   Logger log_{"board"};
+
+  // Declared before the counter references: init order matters.
+  std::unique_ptr<obs::Hub> owned_hub_;
+  obs::Hub* hub_;
+  obs::Counter& interrupts_received_;
+  obs::Counter& clock_ticks_received_;
+  obs::Counter& acks_sent_;
+  obs::Counter& dev_reads_;
+  obs::Counter& dev_writes_;
+  obs::LatencyHistogram& dev_read_ns_;
 
   rtos::Kernel kernel_;
   rtos::DeviceTable devtab_;
@@ -114,14 +135,18 @@ class Board {
   rtos::Mutex data_mutex_{kernel_};  // serializes DATA request/response
   std::function<void(u32)> device_dsr_;
 
+  // RTOS timeline tracing: adjacent slices of the same thread are merged
+  // (the idle loop would otherwise flood the trace).
+  std::string slice_thread_;
+  u64 slice_start_ns_ = 0;
+
   bool booted_ = false;
-  Stats stats_;
 };
 
 /// Convenience: runs a Board on its own host thread; joins on destruction.
 class BoardHost {
  public:
-  BoardHost(BoardConfig config, net::CosimLink link);
+  BoardHost(BoardConfig config, net::CosimLink link, obs::Hub* hub = nullptr);
   ~BoardHost();
 
   BoardHost(const BoardHost&) = delete;

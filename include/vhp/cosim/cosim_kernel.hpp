@@ -12,6 +12,7 @@
 //     a device read can never deadlock the session.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "vhp/common/status.hpp"
 #include "vhp/cosim/driver_port.hpp"
 #include "vhp/net/channel.hpp"
+#include "vhp/obs/hub.hpp"
 #include "vhp/sim/kernel.hpp"
 #include "vhp/sim/signal.hpp"
 
@@ -42,11 +44,19 @@ struct CosimConfig {
   /// coarser driver-write delivery (an ablation knob; see
   /// bench/abl_data_poll).
   u64 data_poll_interval = 1;
+
+  /// Rejects configurations that would divide by zero or stall the protocol
+  /// (t_sync == 0 in timed mode, zero clock_period / data_poll_interval).
+  [[nodiscard]] Status validate() const;
 };
 
 class CosimKernel {
  public:
-  CosimKernel(net::CosimLink link, CosimConfig config);
+  /// `hub` is the session's observability hub; pass nullptr (standalone
+  /// wiring, unit tests) to get a private hub with tracing disabled —
+  /// metric counters still run, they back stats().
+  CosimKernel(net::CosimLink link, CosimConfig config,
+              obs::Hub* hub = nullptr);
   ~CosimKernel();
 
   CosimKernel(const CosimKernel&) = delete;
@@ -56,6 +66,7 @@ class CosimKernel {
   [[nodiscard]] sim::Clock& clock() { return clock_; }
   [[nodiscard]] DriverRegistry& registry() { return registry_; }
   [[nodiscard]] const CosimConfig& config() const { return config_; }
+  [[nodiscard]] obs::Hub& obs() { return *hub_; }
 
   /// Registers `line` as a device interrupt source: a rising edge sampled
   /// at a cycle boundary sends INT_RAISE(vector) to the board.
@@ -68,6 +79,7 @@ class CosimKernel {
 
   /// The paper's driver_simulate(): runs `cycles` HW clock cycles of the
   /// model with data service, interrupt propagation and timing sync.
+  /// Fails with kInvalidArgument if the config did not validate.
   Status run_cycles(u64 cycles);
 
   /// Current cycle count (completed cycles).
@@ -76,6 +88,8 @@ class CosimKernel {
   /// Ends the co-simulation (sends SHUTDOWN if configured).
   void finish();
 
+  /// Compatibility view over the metrics registry (the counters live under
+  /// "cosim.*"); returned by value as a snapshot.
   struct Stats {
     u64 syncs = 0;
     u64 data_writes = 0;
@@ -83,7 +97,10 @@ class CosimKernel {
     u64 interrupts_sent = 0;
     u64 acks_received = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    return Stats{syncs_.value(), data_writes_.value(), data_reads_.value(),
+                 interrupts_sent_.value(), acks_received_.value()};
+  }
 
  private:
   struct IntWatch {
@@ -101,7 +118,18 @@ class CosimKernel {
 
   net::CosimLink link_;
   CosimConfig config_;
+  Status config_status_;
   Logger log_{"cosim"};
+
+  // Declared before the counter references: init order matters.
+  std::unique_ptr<obs::Hub> owned_hub_;
+  obs::Hub* hub_;
+  obs::Counter& syncs_;
+  obs::Counter& data_writes_;
+  obs::Counter& data_reads_;
+  obs::Counter& interrupts_sent_;
+  obs::Counter& acks_received_;
+  obs::LatencyHistogram& sync_rtt_ns_;
 
   sim::Kernel kernel_;
   sim::Clock clock_;
@@ -111,7 +139,6 @@ class CosimKernel {
   u64 cycle_ = 0;
   bool handshaken_ = false;
   bool finished_ = false;
-  Stats stats_;
 };
 
 }  // namespace vhp::cosim

@@ -5,10 +5,12 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "vhp/board/board.hpp"
 #include "vhp/cosim/cosim_kernel.hpp"
 #include "vhp/net/latency.hpp"
+#include "vhp/obs/hub.hpp"
 
 namespace vhp::cosim {
 
@@ -22,6 +24,10 @@ struct SessionConfig {
   /// The paper's physical medium (Ethernet + eCos IP stack) is much slower
   /// than loopback; absolute-overhead experiments emulate that here.
   net::LinkEmulationConfig link_emulation{};
+  /// Observability (vhp::obs): off by default — the costly instruments
+  /// (timeline tracing, stall profiling, per-frame link accounting) are
+  /// opt-in; plain metric counters always run.
+  obs::ObsConfig obs{};
 
   /// Convenience: configure the matching untimed baseline (no sync traffic,
   /// free-running board) used as Figure 6's denominator.
@@ -29,10 +35,99 @@ struct SessionConfig {
     cosim.timed = false;
     board.free_running = true;
   }
+
+  /// Full consistency check: CosimConfig::validate() plus the cross-layer
+  /// rules (timed kernel <-> budgeted board, nonzero RTOS timing divisors).
+  /// CosimSession's constructor enforces this by throwing
+  /// std::invalid_argument with the status message; call it yourself first
+  /// to handle misconfiguration as a Status instead.
+  [[nodiscard]] Status validate() const;
+};
+
+/// Fluent construction of a validated SessionConfig — the examples' way of
+/// spelling the paper's experimental knobs:
+///
+///   auto cfg = SessionConfigBuilder{}
+///                  .tcp()
+///                  .t_sync(1000)
+///                  .cycles_per_tick(10)
+///                  .observability()
+///                  .build_or_throw();
+class SessionConfigBuilder {
+ public:
+  SessionConfigBuilder& transport(TransportKind kind) {
+    config_.transport = kind;
+    return *this;
+  }
+  SessionConfigBuilder& tcp() { return transport(TransportKind::kTcp); }
+  SessionConfigBuilder& inproc() { return transport(TransportKind::kInProc); }
+
+  SessionConfigBuilder& t_sync(u64 cycles) {
+    config_.cosim.t_sync = cycles;
+    return *this;
+  }
+  SessionConfigBuilder& clock_period(sim::SimTime period) {
+    config_.cosim.clock_period = period;
+    return *this;
+  }
+  SessionConfigBuilder& data_poll_interval(u64 cycles) {
+    config_.cosim.data_poll_interval = cycles;
+    return *this;
+  }
+  SessionConfigBuilder& untimed() {
+    config_.set_untimed();
+    return *this;
+  }
+
+  SessionConfigBuilder& cycles_per_tick(u64 cycles) {
+    config_.board.rtos.cycles_per_tick = cycles;
+    return *this;
+  }
+  SessionConfigBuilder& timeslice_ticks(u64 ticks) {
+    config_.board.rtos.timeslice_ticks = ticks;
+    return *this;
+  }
+  SessionConfigBuilder& cycles_per_sim_cycle(u64 cycles) {
+    config_.board.cycles_per_sim_cycle = cycles;
+    return *this;
+  }
+  SessionConfigBuilder& dev_costs(u64 read_cycles, u64 write_cycles) {
+    config_.board.dev_read_cost = read_cycles;
+    config_.board.dev_write_cost = write_cycles;
+    return *this;
+  }
+
+  SessionConfigBuilder& link_latency(std::chrono::microseconds one_way) {
+    config_.link_emulation.latency = one_way;
+    return *this;
+  }
+
+  SessionConfigBuilder& observability(bool on = true) {
+    config_.obs.enabled = on;
+    return *this;
+  }
+  SessionConfigBuilder& max_trace_events(std::size_t n) {
+    config_.obs.max_trace_events = n;
+    return *this;
+  }
+
+  /// Validated result: the config, or the first rule it breaks.
+  [[nodiscard]] Result<SessionConfig> build() const {
+    Status s = config_.validate();
+    if (!s.ok()) return s;
+    return config_;
+  }
+
+  /// For mainline example/benchmark code where misconfiguration is fatal.
+  [[nodiscard]] SessionConfig build_or_throw() const;
+
+ private:
+  SessionConfig config_{};
 };
 
 class CosimSession {
  public:
+  /// Throws std::invalid_argument if `config.validate()` fails.
   explicit CosimSession(SessionConfig config);
   ~CosimSession();
 
@@ -50,6 +145,21 @@ class CosimSession {
   /// The board side. Configure applications and DSRs before start_board().
   [[nodiscard]] board::Board& board() { return host_->board(); }
 
+  /// The session-wide observability hub: metrics always, timeline tracing
+  /// and stall profiling when SessionConfig::obs.enabled.
+  [[nodiscard]] obs::Hub& obs() { return *hub_; }
+
+  /// Dumps all metrics (counters/gauges/histograms, both sides of the link)
+  /// as one JSON object. Call after finish() for exact totals.
+  Status write_metrics_json(const std::string& path) {
+    return hub_->write_metrics_json(path);
+  }
+  /// Dumps the recorded timeline as Chrome trace_event JSON — open it in
+  /// chrome://tracing or https://ui.perfetto.dev.
+  Status write_trace_json(const std::string& path) {
+    return hub_->write_trace_json(path);
+  }
+
   /// Boots the board host thread.
   void start_board();
 
@@ -60,6 +170,7 @@ class CosimSession {
   void finish();
 
  private:
+  std::unique_ptr<obs::Hub> hub_;  // outlives both sides, they hold Hub*
   std::unique_ptr<CosimKernel> hw_;
   std::unique_ptr<board::BoardHost> host_;
   bool started_ = false;

@@ -1,0 +1,75 @@
+// The one observability object of a co-simulation: metrics + tracer +
+// stall profiler behind a single switch.
+//
+// Ownership pattern: CosimSession owns a Hub and hands a Hub* to every layer
+// it wires (CosimKernel, Board, instrumented channels). Components built
+// without a session (unit tests, custom wiring) may pass nullptr and get a
+// private, tracing-disabled Hub — metrics still count (they back the
+// stats() compatibility views), tracing and wall-time profiling stay off.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vhp/common/status.hpp"
+#include "vhp/obs/metrics.hpp"
+#include "vhp/obs/stall_profiler.hpp"
+#include "vhp/obs/trace.hpp"
+
+namespace vhp::obs {
+
+struct ObsConfig {
+  /// Master switch for the *costly* instruments: timeline tracing, wall-time
+  /// stall profiling, per-frame link accounting. Plain metric counters are
+  /// always live — they are the components' stats() backing store and cost
+  /// one relaxed increment each, exactly like the structs they replaced.
+  bool enabled = false;
+  /// Tracer buffer cap (events beyond it are dropped and counted).
+  std::size_t max_trace_events = 1u << 20;
+};
+
+class Hub {
+ public:
+  explicit Hub(ObsConfig config = {});
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const ObsConfig& config() const { return config_; }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] StallProfiler& profiler() { return profiler_; }
+
+  /// Registers a pre-dump hook: called by metrics_json() so lazily-computed
+  /// series (RTOS kernel totals, profiler buckets) are fresh in the dump.
+  /// Collectors run on the dumping thread; keep them read-only snapshots.
+  void add_collector(std::function<void(MetricsRegistry&)> collector);
+
+  /// Runs the collectors, then serializes every instrument to JSON.
+  [[nodiscard]] std::string metrics_json();
+  Status write_metrics_json(const std::string& path);
+
+  /// Serializes the tracer buffer as Chrome trace_event JSON.
+  [[nodiscard]] std::string trace_json() const {
+    return tracer_.to_chrome_json();
+  }
+  Status write_trace_json(const std::string& path) const {
+    return tracer_.write_chrome_json(path);
+  }
+
+ private:
+  ObsConfig config_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  StallProfiler profiler_;
+
+  std::mutex collectors_mu_;
+  std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+};
+
+}  // namespace vhp::obs

@@ -1,0 +1,103 @@
+// Where does run_cycles() wall time actually go?
+//
+// The paper's overhead numbers (Figures 5/6) fold three very different costs
+// into one wall-clock figure: executing the HDL model, servicing driver DATA
+// traffic, and stalling for the board's TIME_ACK. The StallProfiler splits
+// them: the co-simulation kernel brackets each phase with a Timer, and the
+// accumulated per-bucket nanoseconds land in the metrics dump
+// (cosim.wall.<bucket>_ns), so a BENCH trajectory can say "94% of the
+// overhead at T_sync=10 is ack-wait" instead of just "it is 100x slower".
+//
+// Disabled (default) cost: one branch per Timer, no clock reads.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string_view>
+
+#include "vhp/common/types.hpp"
+
+namespace vhp::obs {
+
+class MetricsRegistry;
+
+class StallProfiler {
+ public:
+  enum class Bucket : std::size_t {
+    kSimulate = 0,     // advancing the HDL model (sim::Kernel::run)
+    kDataService = 1,  // draining/answering DATA_PORT traffic
+    kAckWait = 2,      // blocked on the board's TIME_ACK
+    kCount = 3,
+  };
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(Bucket::kCount);
+
+  explicit StallProfiler(bool enabled = false) : enabled_(enabled) {}
+
+  StallProfiler(const StallProfiler&) = delete;
+  StallProfiler& operator=(const StallProfiler&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void add_ns(Bucket bucket, u64 ns) {
+    auto& cell = cells_[static_cast<std::size_t>(bucket)];
+    cell.ns.fetch_add(ns, std::memory_order_relaxed);
+    cell.samples.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] u64 total_ns(Bucket bucket) const {
+    return cells_[static_cast<std::size_t>(bucket)].ns.load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 samples(Bucket bucket) const {
+    return cells_[static_cast<std::size_t>(bucket)].samples.load(
+        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::string_view bucket_name(Bucket bucket);
+
+  /// Publishes the buckets as gauges: cosim.wall.<bucket>_ns and
+  /// cosim.wall.<bucket>_intervals.
+  void export_to(MetricsRegistry& metrics) const;
+
+  /// RAII phase bracket. When the profiler is disabled this is two branches
+  /// and no clock reads.
+  class Timer {
+   public:
+    Timer(StallProfiler& profiler, Bucket bucket)
+        : profiler_(profiler), bucket_(bucket) {
+      if (profiler_.enabled_) start_ = std::chrono::steady_clock::now();
+    }
+    ~Timer() {
+      if (profiler_.enabled_) {
+        const auto end = std::chrono::steady_clock::now();
+        profiler_.add_ns(
+            bucket_,
+            static_cast<u64>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                                     start_)
+                    .count()));
+      }
+    }
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+   private:
+    StallProfiler& profiler_;
+    Bucket bucket_;
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+ private:
+  struct Cell {
+    std::atomic<u64> ns{0};
+    std::atomic<u64> samples{0};
+  };
+
+  bool enabled_;
+  std::array<Cell, kBucketCount> cells_{};
+};
+
+}  // namespace vhp::obs

@@ -1,0 +1,109 @@
+// Timeline tracing in Chrome trace_event format (chrome://tracing, Perfetto).
+//
+// The paper's Figures 2/4 are timelines: virtual ticks, normal/idle OS
+// switches, driver traffic. The Tracer records exactly those — named spans
+// ('X' complete events) and instants ('i') with nanosecond wall-clock
+// timestamps — from any host thread, and serializes them as
+// {"traceEvents":[...]} JSON.
+//
+// Cost model: when disabled (the default), every record call is one branch
+// on a const bool. When enabled, a record is a mutex-guarded append into a
+// pre-reserved vector; events beyond `max_events` are counted as dropped
+// rather than grown without bound.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vhp/common/status.hpp"
+#include "vhp/common/types.hpp"
+
+namespace vhp::obs {
+
+struct TracerConfig {
+  bool enabled = false;
+  /// Hard cap on buffered events; the surplus is counted in dropped().
+  std::size_t max_events = 1u << 20;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig config = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+
+  /// Nanoseconds since this tracer's construction (steady clock).
+  [[nodiscard]] u64 now_ns() const;
+
+  /// Point event ("i"); optional numeric argument shown in the viewer.
+  void instant(std::string name, const char* category,
+               std::optional<u64> arg = std::nullopt,
+               const char* arg_name = "value");
+
+  /// Duration event ("X") spanning [start_ns, end_ns] of this tracer's
+  /// clock (use now_ns() to take the endpoints).
+  void complete(std::string name, const char* category, u64 start_ns,
+                u64 end_ns, std::optional<u64> arg = std::nullopt,
+                const char* arg_name = "value");
+
+  /// RAII span: records a complete event from construction to destruction.
+  /// No-op (and no clock read) when the tracer is disabled.
+  class Span {
+   public:
+    Span(Tracer& tracer, std::string name, const char* category)
+        : tracer_(tracer), name_(std::move(name)), category_(category),
+          start_ns_(tracer.enabled() ? tracer.now_ns() : 0) {}
+    ~Span() {
+      if (tracer_.enabled()) {
+        tracer_.complete(std::move(name_), category_, start_ns_,
+                         tracer_.now_ns());
+      }
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    Tracer& tracer_;
+    std::string name_;
+    const char* category_;
+    u64 start_ns_;
+  };
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] u64 dropped() const;
+
+  /// Serializes {"traceEvents":[...]} — timestamps in microseconds as the
+  /// format requires, one pid, the recording host thread as tid.
+  [[nodiscard]] std::string to_chrome_json() const;
+  Status write_chrome_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* category;
+    char phase;  // 'X' or 'i'
+    u64 ts_ns;
+    u64 dur_ns;  // 'X' only
+    u32 tid;
+    std::optional<u64> arg;
+    const char* arg_name;
+  };
+
+  void record(Event ev);
+
+  TracerConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  u64 dropped_ = 0;
+};
+
+}  // namespace vhp::obs

@@ -128,6 +128,14 @@ class Kernel {
     state_trace_ = std::move(trace);
   }
 
+  /// Observes every dispatch of a thread onto the virtual CPU (the board's
+  /// observability layer draws the paper's Figure 4 thread timeline from
+  /// this). Called from the scheduler loop just before the switch; unset by
+  /// default and free when unset — keep the callback cheap.
+  void set_switch_trace(std::function<void(const Thread&)> trace) {
+    switch_trace_ = std::move(trace);
+  }
+
   // ----- interrupts -----
 
   [[nodiscard]] InterruptController& interrupts() { return interrupts_; }
@@ -189,6 +197,7 @@ class Kernel {
   std::function<void(SwTicks)> freeze_cb_;
   std::function<void()> idle_poll_;
   std::function<void(OsState, SwTicks)> state_trace_;
+  std::function<void(const Thread&)> switch_trace_;
   WaitQueue budget_wait_{*this};
 
   InterruptController interrupts_{*this};

@@ -34,8 +34,18 @@ rtos::KernelConfig apply_mode(rtos::KernelConfig cfg, bool free_running) {
 
 }  // namespace
 
-Board::Board(BoardConfig config, net::CosimLink link)
+Board::Board(BoardConfig config, net::CosimLink link, obs::Hub* hub)
     : config_(config), link_(std::move(link)),
+      owned_hub_(hub != nullptr ? nullptr : new obs::Hub()),
+      hub_(hub != nullptr ? hub : owned_hub_.get()),
+      interrupts_received_(
+          hub_->metrics().counter("board.interrupts_received")),
+      clock_ticks_received_(
+          hub_->metrics().counter("board.clock_ticks_received")),
+      acks_sent_(hub_->metrics().counter("board.acks_sent")),
+      dev_reads_(hub_->metrics().counter("board.dev_reads")),
+      dev_writes_(hub_->metrics().counter("board.dev_writes")),
+      dev_read_ns_(hub_->metrics().histogram("board.dev_read_ns")),
       kernel_(apply_mode(config.rtos, config.free_running)) {
   data_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.data, "data");
   int_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.intr, "int");
@@ -57,13 +67,42 @@ Board::Board(BoardConfig config, net::CosimLink link)
 
   // Freeze: the OS just entered the idle state; report our tick (TIME_ACK).
   kernel_.set_freeze_callback([this](SwTicks tick) {
-    ++stats_.acks_sent;
+    acks_sent_.inc();
+    if (hub_->tracer().enabled()) {
+      hub_->tracer().instant("board.time_ack", "board", tick.value(), "tick");
+    }
     Status s = net::send_msg(*link_.clock, net::TimeAck{tick.value()});
     if (!s.ok()) log_.warn("TIME_ACK send failed: {}", s.to_string());
   });
 
   // Idle: keep the sockets alive (the paper's idle-state duty).
   kernel_.set_idle_poll([this] { idle_poll(); });
+
+  // Observability extras — only when the costly instruments are on.
+  if (hub_->enabled()) {
+    // Timeline of which RTOS thread holds the virtual CPU (paper Figure 4):
+    // one 'X' span per scheduled slice, adjacent same-thread slices merged.
+    kernel_.set_switch_trace([this](const rtos::Thread& next) {
+      if (next.name() == slice_thread_) return;
+      const u64 now = hub_->tracer().now_ns();
+      if (!slice_thread_.empty()) {
+        hub_->tracer().complete("rtos." + slice_thread_, "rtos",
+                                slice_start_ns_, now);
+      }
+      slice_thread_ = next.name();
+      slice_start_ns_ = now;
+    });
+  }
+  // RTOS kernel totals land in every metrics dump (snapshot at dump time;
+  // values are exact once the board thread has quiesced after finish()).
+  hub_->add_collector([this](obs::MetricsRegistry& m) {
+    const auto& ks = kernel_.stats();
+    m.gauge("rtos.context_switches").set(static_cast<i64>(ks.context_switches));
+    m.gauge("rtos.ticks").set(static_cast<i64>(ks.ticks));
+    m.gauge("rtos.freezes").set(static_cast<i64>(ks.freezes));
+    m.gauge("rtos.grants").set(static_cast<i64>(ks.grants));
+    m.gauge("rtos.idle_cycles").set(static_cast<i64>(ks.idle_cycles));
+  });
 }
 
 Board::~Board() { link_.close_all(); }
@@ -82,7 +121,9 @@ void Board::idle_poll() {
 
 Result<Bytes> Board::dev_read(u32 addr, u32 nbytes) {
   rtos::MutexLock lock(data_mutex_);
-  ++stats_.dev_reads;
+  dev_reads_.inc();
+  obs::Tracer& tracer = hub_->tracer();
+  const u64 read_start = tracer.enabled() ? tracer.now_ns() : 0;
   if (config_.dev_read_cost > 0) kernel_.consume(config_.dev_read_cost);
   Status s = net::send_msg(*link_.data, net::DataReadReq{addr, nbytes});
   if (!s.ok()) return s;
@@ -104,12 +145,18 @@ Result<Bytes> Board::dev_read(u32 addr, u32 nbytes) {
                 resp->address, addr);
       continue;
     }
+    if (tracer.enabled()) {
+      const u64 read_end = tracer.now_ns();
+      dev_read_ns_.record_ns(read_end - read_start);
+      tracer.complete("board.dev_read", "board", read_start, read_end, addr,
+                      "address");
+    }
     return std::move(resp->data);
   }
 }
 
 Status Board::dev_write(u32 addr, std::span<const u8> data) {
-  ++stats_.dev_writes;
+  dev_writes_.inc();
   if (config_.dev_write_cost > 0) kernel_.consume(config_.dev_write_cost);
   return net::send_msg(*link_.data,
                        net::DataWrite{addr, Bytes{data.begin(), data.end()}});
@@ -137,30 +184,43 @@ rtos::Thread& Board::spawn_app(std::string name, int priority,
 
 void Board::systemc_thread_body() {
   for (;;) {
-    auto frame = clock_rx_->recv();
-    if (!frame.has_value()) {
-      log_.debug("CLOCK channel closed; shutting down");
+    // The frame (and its heap buffer) must be released before
+    // kernel_.shutdown(): shutdown parks this fiber for good and fiber
+    // stacks are never unwound, so any live local would leak. Decode
+    // inside a scope and only act on the verdict afterwards.
+    bool stop = false;
+    {
+      auto frame = clock_rx_->recv();
+      if (!frame.has_value()) {
+        log_.debug("CLOCK channel closed; shutting down");
+        stop = true;
+      } else {
+        auto msg = net::decode(*frame);
+        if (!msg.ok()) {
+          log_.warn("bad CLOCK frame: {}", msg.status().to_string());
+        } else if (const auto* tick =
+                       std::get_if<net::ClockTick>(&msg.value())) {
+          clock_ticks_received_.inc();
+          if (hub_->tracer().enabled()) {
+            hub_->tracer().instant("board.clock_tick", "board",
+                                   tick->sim_cycle, "sim_cycle");
+          }
+          kernel_.grant_cycles(static_cast<u64>(tick->n_ticks) *
+                               config_.cycles_per_sim_cycle);
+        } else if (std::holds_alternative<net::Shutdown>(msg.value())) {
+          log_.debug("SHUTDOWN received at tick {}",
+                     kernel_.tick_count().value());
+          stop = true;
+        } else {
+          log_.warn("unexpected {} on CLOCK port",
+                    net::to_string(net::type_of(msg.value())));
+        }
+      }
+    }
+    if (stop) {
       kernel_.shutdown();
       return;
     }
-    auto msg = net::decode(*frame);
-    if (!msg.ok()) {
-      log_.warn("bad CLOCK frame: {}", msg.status().to_string());
-      continue;
-    }
-    if (const auto* tick = std::get_if<net::ClockTick>(&msg.value())) {
-      ++stats_.clock_ticks_received;
-      kernel_.grant_cycles(static_cast<u64>(tick->n_ticks) *
-                           config_.cycles_per_sim_cycle);
-      continue;
-    }
-    if (std::holds_alternative<net::Shutdown>(msg.value())) {
-      log_.debug("SHUTDOWN received at tick {}", kernel_.tick_count().value());
-      kernel_.shutdown();
-      return;
-    }
-    log_.warn("unexpected {} on CLOCK port",
-              net::to_string(net::type_of(msg.value())));
   }
 }
 
@@ -174,7 +234,11 @@ void Board::channel_thread_body() {
       continue;
     }
     if (const auto* irq = std::get_if<net::IntRaise>(&msg.value())) {
-      ++stats_.interrupts_received;
+      interrupts_received_.inc();
+      if (hub_->tracer().enabled()) {
+        hub_->tracer().instant("board.int_raise", "board", irq->vector,
+                               "vector");
+      }
       kernel_.interrupts().raise(irq->vector);
     } else {
       log_.warn("unexpected {} on INT port",
@@ -198,8 +262,8 @@ void Board::run() {
              kernel_.tick_count().value(), kernel_.stats().context_switches);
 }
 
-BoardHost::BoardHost(BoardConfig config, net::CosimLink link)
-    : board_(config, std::move(link)) {}
+BoardHost::BoardHost(BoardConfig config, net::CosimLink link, obs::Hub* hub)
+    : board_(config, std::move(link), hub) {}
 
 BoardHost::~BoardHost() { join(); }
 

@@ -6,9 +6,42 @@
 
 namespace vhp::cosim {
 
-CosimKernel::CosimKernel(net::CosimLink link, CosimConfig config)
+Status CosimConfig::validate() const {
+  if (timed && t_sync == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "CosimConfig: t_sync must be > 0 in timed mode"};
+  }
+  if (clock_period == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "CosimConfig: clock_period must be > 0"};
+  }
+  if (data_poll_interval == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "CosimConfig: data_poll_interval must be > 0"};
+  }
+  return Status::Ok();
+}
+
+CosimKernel::CosimKernel(net::CosimLink link, CosimConfig config,
+                         obs::Hub* hub)
     : link_(std::move(link)), config_(config),
-      clock_(kernel_, "clk", config.clock_period) {}
+      config_status_(config.validate()),
+      owned_hub_(hub != nullptr ? nullptr : new obs::Hub()),
+      hub_(hub != nullptr ? hub : owned_hub_.get()),
+      syncs_(hub_->metrics().counter("cosim.syncs")),
+      data_writes_(hub_->metrics().counter("cosim.data_writes")),
+      data_reads_(hub_->metrics().counter("cosim.data_reads")),
+      interrupts_sent_(hub_->metrics().counter("cosim.interrupts_sent")),
+      acks_received_(hub_->metrics().counter("cosim.acks_received")),
+      sync_rtt_ns_(hub_->metrics().histogram("cosim.sync_rtt_ns")),
+      // Guard against a zero period before sim::Clock divides by it; the
+      // invalid config is surfaced by run_cycles()/handshake().
+      clock_(kernel_, "clk",
+             config.clock_period == 0 ? sim::SimTime{1} : config.clock_period) {
+  if (!config_status_.ok()) {
+    log_.warn("invalid config: {}", config_status_.to_string());
+  }
+}
 
 CosimKernel::~CosimKernel() { finish(); }
 
@@ -18,6 +51,7 @@ void CosimKernel::watch_interrupt(sim::BoolSignal& line, u32 vector) {
 
 Status CosimKernel::handshake(
     std::optional<std::chrono::milliseconds> timeout) {
+  if (!config_status_.ok()) return config_status_;
   if (!config_.timed || handshaken_) return Status::Ok();
   // The board reports its initial freeze with a TIME_ACK; data traffic is
   // not expected before it (the device driver has nothing to talk to yet).
@@ -49,11 +83,19 @@ Status CosimKernel::service_data_port() {
 
 Status CosimKernel::handle_data_msg(const net::Message& msg) {
   if (const auto* wr = std::get_if<net::DataWrite>(&msg)) {
-    ++stats_.data_writes;
+    data_writes_.inc();
+    if (hub_->tracer().enabled()) {
+      hub_->tracer().instant("cosim.data_write", "cosim", wr->address,
+                             "address");
+    }
     return registry_.deliver_write(wr->address, wr->data);
   }
   if (const auto* rd = std::get_if<net::DataReadReq>(&msg)) {
-    ++stats_.data_reads;
+    data_reads_.inc();
+    if (hub_->tracer().enabled()) {
+      hub_->tracer().instant("cosim.data_read", "cosim", rd->address,
+                             "address");
+    }
     auto data = registry_.serve_read(rd->address, rd->nbytes);
     if (!data.ok()) return data.status();
     return net::send_msg(*link_.data,
@@ -69,7 +111,11 @@ Status CosimKernel::sample_interrupts() {
   for (auto& watch : watches_) {
     const bool level = watch.line->read();
     if (level && !watch.prev) {
-      ++stats_.interrupts_sent;
+      interrupts_sent_.inc();
+      if (hub_->tracer().enabled()) {
+        hub_->tracer().instant("cosim.int_raise", "cosim", watch.vector,
+                               "vector");
+      }
       Status s = net::send_msg(*link_.intr, net::IntRaise{watch.vector});
       if (!s.ok()) return s;
     }
@@ -79,7 +125,9 @@ Status CosimKernel::sample_interrupts() {
 }
 
 Status CosimKernel::sync_with_board() {
-  ++stats_.syncs;
+  syncs_.inc();
+  obs::Tracer& tracer = hub_->tracer();
+  const u64 span_start = tracer.enabled() ? tracer.now_ns() : 0;
   Status s = net::send_msg(
       *link_.clock, net::ClockTick{cycle_, static_cast<u32>(config_.t_sync)});
   if (!s.ok()) return s;
@@ -94,7 +142,13 @@ Status CosimKernel::sync_with_board() {
                       strformat("expected TIME_ACK, got {}",
                                 net::to_string(net::type_of(*ack.value())))};
       }
-      ++stats_.acks_received;
+      acks_received_.inc();
+      if (tracer.enabled()) {
+        const u64 span_end = tracer.now_ns();
+        sync_rtt_ns_.record_ns(span_end - span_start);
+        tracer.complete("cosim.sync", "cosim", span_start, span_end, cycle_,
+                        "cycle");
+      }
       return Status::Ok();
     }
     Status data = service_data_port();
@@ -104,22 +158,30 @@ Status CosimKernel::sync_with_board() {
 }
 
 Status CosimKernel::run_cycles(u64 cycles) {
+  if (!config_status_.ok()) return config_status_;
   if (config_.timed && !handshaken_) {
     Status s = handshake();
     if (!s.ok()) return s;
   }
+  obs::StallProfiler& profiler = hub_->profiler();
+  using Bucket = obs::StallProfiler::Bucket;
   for (u64 i = 0; i < cycles; ++i) {
     Status s = Status::Ok();
     if (config_.data_poll_interval <= 1 ||
         cycle_ % config_.data_poll_interval == 0) {
+      obs::StallProfiler::Timer timer(profiler, Bucket::kDataService);
       s = service_data_port();
       if (!s.ok()) return s;
     }
-    kernel_.run(config_.clock_period);  // one posedge + negedge
+    {
+      obs::StallProfiler::Timer timer(profiler, Bucket::kSimulate);
+      kernel_.run(config_.clock_period);  // one posedge + negedge
+    }
     ++cycle_;
     s = sample_interrupts();
     if (!s.ok()) return s;
     if (config_.timed && cycle_ % config_.t_sync == 0) {
+      obs::StallProfiler::Timer timer(profiler, Bucket::kAckWait);
       s = sync_with_board();
       if (!s.ok()) return s;
     }

@@ -4,18 +4,47 @@
 #include <thread>
 
 #include "vhp/net/inproc.hpp"
+#include "vhp/net/instrumented.hpp"
 #include "vhp/net/latency.hpp"
 #include "vhp/net/tcp.hpp"
 
 namespace vhp::cosim {
 
-CosimSession::CosimSession(SessionConfig config) {
+Status SessionConfig::validate() const {
+  Status s = cosim.validate();
+  if (!s.ok()) return s;
   // Consistency: an untimed kernel must face a free-running board, or the
   // board would freeze forever waiting for grants.
-  if (config.cosim.timed == config.board.free_running) {
-    throw std::invalid_argument(
-        "SessionConfig: cosim.timed and board.free_running must be opposite");
+  if (cosim.timed == board.free_running) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SessionConfig: cosim.timed and board.free_running must be "
+                  "opposite"};
   }
+  if (board.rtos.cycles_per_tick == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SessionConfig: board.rtos.cycles_per_tick must be > 0"};
+  }
+  if (board.rtos.timeslice_ticks == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SessionConfig: board.rtos.timeslice_ticks must be > 0"};
+  }
+  if (board.cycles_per_sim_cycle == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SessionConfig: board.cycles_per_sim_cycle must be > 0"};
+  }
+  return Status::Ok();
+}
+
+SessionConfig SessionConfigBuilder::build_or_throw() const {
+  Status s = config_.validate();
+  if (!s.ok()) throw std::invalid_argument(s.to_string());
+  return config_;
+}
+
+CosimSession::CosimSession(SessionConfig config) {
+  Status valid = config.validate();
+  if (!valid.ok()) throw std::invalid_argument(valid.to_string());
+  hub_ = std::make_unique<obs::Hub>(config.obs);
   net::LinkPair pair;
   if (config.transport == TransportKind::kInProc) {
     pair = net::make_inproc_link_pair();
@@ -40,9 +69,17 @@ CosimSession::CosimSession(SessionConfig config) {
     pair.board = std::move(board_link).value();
   }
   pair = net::emulate_latency(std::move(pair), config.link_emulation);
-  hw_ = std::make_unique<CosimKernel>(std::move(pair.hw), config.cosim);
+  if (hub_->enabled()) {
+    // Per-frame link accounting costs a virtual hop per operation; wrap the
+    // transports only when observability is on.
+    pair.hw = net::instrument_link(std::move(pair.hw), *hub_, "hw");
+    pair.board = net::instrument_link(std::move(pair.board), *hub_, "board");
+  }
+  hw_ = std::make_unique<CosimKernel>(std::move(pair.hw), config.cosim,
+                                      hub_.get());
   host_ = std::make_unique<board::BoardHost>(config.board,
-                                             std::move(pair.board));
+                                             std::move(pair.board),
+                                             hub_.get());
 }
 
 CosimSession::~CosimSession() { finish(); }

@@ -1,0 +1,82 @@
+#include "vhp/net/instrumented.hpp"
+
+#include <utility>
+
+namespace vhp::net {
+
+namespace {
+
+class InstrumentedChannel final : public Channel {
+ public:
+  InstrumentedChannel(ChannelPtr inner, obs::Hub& hub, const std::string& name)
+      : inner_(std::move(inner)), tracer_(hub.tracer()),
+        tx_frames_(hub.metrics().counter("net." + name + ".tx_frames")),
+        tx_bytes_(hub.metrics().counter("net." + name + ".tx_bytes")),
+        rx_frames_(hub.metrics().counter("net." + name + ".rx_frames")),
+        rx_bytes_(hub.metrics().counter("net." + name + ".rx_bytes")),
+        recv_ns_(hub.metrics().histogram("net." + name + ".recv_wait_ns")),
+        trace_name_("net." + name) {}
+
+  Status send(std::span<const u8> frame) override {
+    Status s = inner_->send(frame);
+    if (s.ok()) {
+      tx_frames_.inc();
+      tx_bytes_.inc(frame.size());
+    }
+    return s;
+  }
+
+  Result<Bytes> recv(std::optional<std::chrono::milliseconds> timeout) override {
+    const u64 start = tracer_.enabled() ? tracer_.now_ns() : 0;
+    auto frame = inner_->recv(timeout);
+    if (frame.ok()) {
+      rx_frames_.inc();
+      rx_bytes_.inc(frame.value().size());
+      if (tracer_.enabled()) {
+        const u64 end = tracer_.now_ns();
+        recv_ns_.record_ns(end - start);
+        tracer_.complete(trace_name_ + ".recv", "net", start, end,
+                         frame.value().size(), "bytes");
+      }
+    }
+    return frame;
+  }
+
+  Result<std::optional<Bytes>> try_recv() override {
+    auto frame = inner_->try_recv();
+    if (frame.ok() && frame.value().has_value()) {
+      rx_frames_.inc();
+      rx_bytes_.inc(frame.value()->size());
+    }
+    return frame;
+  }
+
+  void close() override { inner_->close(); }
+
+ private:
+  ChannelPtr inner_;
+  obs::Tracer& tracer_;
+  obs::Counter& tx_frames_;
+  obs::Counter& tx_bytes_;
+  obs::Counter& rx_frames_;
+  obs::Counter& rx_bytes_;
+  obs::LatencyHistogram& recv_ns_;
+  std::string trace_name_;
+};
+
+}  // namespace
+
+ChannelPtr instrument_channel(ChannelPtr inner, obs::Hub& hub,
+                              const std::string& name) {
+  return std::make_unique<InstrumentedChannel>(std::move(inner), hub, name);
+}
+
+CosimLink instrument_link(CosimLink link, obs::Hub& hub,
+                          const std::string& side) {
+  link.data = instrument_channel(std::move(link.data), hub, side + ".data");
+  link.intr = instrument_channel(std::move(link.intr), hub, side + ".int");
+  link.clock = instrument_channel(std::move(link.clock), hub, side + ".clock");
+  return link;
+}
+
+}  // namespace vhp::net

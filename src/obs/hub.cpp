@@ -1,0 +1,35 @@
+#include "vhp/obs/hub.hpp"
+
+#include <fstream>
+
+namespace vhp::obs {
+
+Hub::Hub(ObsConfig config)
+    : config_(config),
+      tracer_(TracerConfig{config.enabled, config.max_trace_events}),
+      profiler_(config.enabled) {}
+
+void Hub::add_collector(std::function<void(MetricsRegistry&)> collector) {
+  std::scoped_lock lock(collectors_mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+std::string Hub::metrics_json() {
+  {
+    std::scoped_lock lock(collectors_mu_);
+    for (auto& collector : collectors_) collector(metrics_);
+  }
+  profiler_.export_to(metrics_);
+  return metrics_.to_json();
+}
+
+Status Hub::write_metrics_json(const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status{StatusCode::kUnavailable, "cannot open " + path};
+  f << metrics_json();
+  f.close();
+  if (!f) return Status{StatusCode::kUnavailable, "write failed: " + path};
+  return Status::Ok();
+}
+
+}  // namespace vhp::obs

@@ -1,0 +1,122 @@
+#include "vhp/obs/metrics.hpp"
+
+#include <sstream>
+
+namespace vhp::obs {
+
+namespace {
+
+template <typename Map, typename Storage>
+auto& get_or_create(std::mutex& mu, Map& map, Storage& storage,
+                    std::string_view name) {
+  std::scoped_lock lock(mu);
+  auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  auto& inst = storage.emplace_back();
+  map.emplace(std::string(name), &inst);
+  return inst;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create(mu_, counters_, counter_storage_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create(mu_, gauges_, gauge_storage_, name);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create(mu_, histograms_, histogram_storage_, name);
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  std::scoped_lock lock(mu_);
+  return counters_.find(name) != counters_.end() ||
+         gauges_.find(name) != gauges_.end() ||
+         histograms_.find(name) != histograms_.end();
+}
+
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::scoped_lock lock(mu_);
+  for (const auto& [name, c] : counters_) fn(name, *c);
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::scoped_lock lock(mu_);
+  for (const auto& [name, g] : gauges_) fn(name, *g);
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const std::string&, const LatencyHistogram&)>& fn)
+    const {
+  std::scoped_lock lock(mu_);
+  for (const auto& [name, h] : histograms_) fn(name, *h);
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  out << "\"counters\":{";
+  for_each_counter([&](const std::string& name, const Counter& c) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << c.value();
+  });
+  out << "},\"gauges\":{";
+  first = true;
+  for_each_gauge([&](const std::string& name, const Gauge& g) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << g.value();
+  });
+  out << "},\"histograms\":{";
+  first = true;
+  for_each_histogram([&](const std::string& name, const LatencyHistogram& h) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":{\"count\":" << h.count()
+        << ",\"sum_ns\":" << h.sum_ns() << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      const u64 n = h.bucket(i);
+      if (n == 0) continue;
+      if (!first_bucket) out << ",";
+      first_bucket = false;
+      out << "{\"ge_ns\":" << LatencyHistogram::bucket_floor_ns(i)
+          << ",\"count\":" << n << "}";
+    }
+    out << "]}";
+  });
+  out << "}}";
+  return out.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace vhp::obs

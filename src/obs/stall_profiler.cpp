@@ -1,0 +1,29 @@
+#include "vhp/obs/stall_profiler.hpp"
+
+#include <string>
+
+#include "vhp/obs/metrics.hpp"
+
+namespace vhp::obs {
+
+std::string_view StallProfiler::bucket_name(Bucket bucket) {
+  switch (bucket) {
+    case Bucket::kSimulate: return "simulate";
+    case Bucket::kDataService: return "data_service";
+    case Bucket::kAckWait: return "ack_wait";
+    case Bucket::kCount: break;
+  }
+  return "?";
+}
+
+void StallProfiler::export_to(MetricsRegistry& metrics) const {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const auto bucket = static_cast<Bucket>(i);
+    const std::string base = "cosim.wall." + std::string(bucket_name(bucket));
+    metrics.gauge(base + "_ns").set(static_cast<i64>(total_ns(bucket)));
+    metrics.gauge(base + "_intervals")
+        .set(static_cast<i64>(samples(bucket)));
+  }
+}
+
+}  // namespace vhp::obs

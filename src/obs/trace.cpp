@@ -1,0 +1,119 @@
+#include "vhp/obs/trace.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "vhp/obs/metrics.hpp"
+
+namespace vhp::obs {
+
+namespace {
+
+// Small process-wide host-thread ids: stable across tracers, dense enough
+// to read in the viewer (the board thread and the kernel thread become
+// tid 1 / tid 2, not two 7-digit pthread handles).
+std::atomic<u32> g_next_tid{1};
+thread_local u32 t_tid = 0;
+
+u32 current_tid() {
+  if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+}  // namespace
+
+Tracer::Tracer(TracerConfig config)
+    : config_(config), epoch_(std::chrono::steady_clock::now()) {
+  if (config_.enabled) {
+    events_.reserve(std::min<std::size_t>(config_.max_events, 1u << 16));
+  }
+}
+
+u64 Tracer::now_ns() const {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - epoch_)
+                              .count());
+}
+
+void Tracer::instant(std::string name, const char* category,
+                     std::optional<u64> arg, const char* arg_name) {
+  if (!config_.enabled) return;
+  record(Event{std::move(name), category, 'i', now_ns(), 0, current_tid(),
+               arg, arg_name});
+}
+
+void Tracer::complete(std::string name, const char* category, u64 start_ns,
+                      u64 end_ns, std::optional<u64> arg,
+                      const char* arg_name) {
+  if (!config_.enabled) return;
+  record(Event{std::move(name), category, 'X', start_ns,
+               end_ns >= start_ns ? end_ns - start_ns : 0, current_tid(), arg,
+               arg_name});
+}
+
+void Tracer::record(Event ev) {
+  std::scoped_lock lock(mu_);
+  if (events_.size() >= config_.max_events) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+u64 Tracer::dropped() const {
+  std::scoped_lock lock(mu_);
+  return dropped_;
+}
+
+std::string Tracer::to_chrome_json() const {
+  // trace_event wants microsecond timestamps; keep ns resolution with a
+  // fractional part.
+  const auto as_us = [](u64 ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return std::string(buf);
+  };
+  std::scoped_lock lock(mu_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& ev : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+        << json_escape(ev.category) << "\",\"ph\":\"" << ev.phase
+        << "\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":" << as_us(ev.ts_ns);
+    if (ev.phase == 'X') {
+      out << ",\"dur\":" << as_us(ev.dur_ns);
+    }
+    if (ev.phase == 'i') out << ",\"s\":\"t\"";
+    if (ev.arg.has_value()) {
+      out << ",\"args\":{\"" << json_escape(ev.arg_name) << "\":" << *ev.arg
+          << "}";
+    }
+    out << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ns\"}";
+  return out.str();
+}
+
+Status Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    return Status{StatusCode::kUnavailable, "cannot open " + path};
+  }
+  f << to_chrome_json();
+  f.close();
+  if (!f) return Status{StatusCode::kUnavailable, "write failed: " + path};
+  return Status::Ok();
+}
+
+}  // namespace vhp::obs

@@ -39,6 +39,7 @@ void Kernel::run(bool until_quiescent) {
     current_ = next;
     current_->state_ = Thread::State::kRunning;
     ++stats_.context_switches;
+    if (switch_trace_) switch_trace_(*next);
     current_->fiber_.resume();
     if (current_ != nullptr && current_->state_ == Thread::State::kRunning) {
       current_->state_ = Thread::State::kReady;

@@ -1,0 +1,409 @@
+// vhp::obs unit tests: metric primitives, registry identity, Chrome-trace
+// JSON well-formedness, stall profiler buckets, and the disabled-mode
+// no-op contract the hot paths rely on.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vhp/obs/hub.hpp"
+#include "vhp/obs/metrics.hpp"
+#include "vhp/obs/stall_profiler.hpp"
+#include "vhp/obs/trace.hpp"
+
+namespace vhp::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON structural validator — enough to prove the dumps are parseable
+// (balanced syntax, legal literals/strings/numbers) without a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    if (peek() == '-') ++pos_;
+    const std::size_t digits_start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (pos_ == digits_start) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metric primitives
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr u64 kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (u64 i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddRead) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(HistogramTest, PowerOfTwoBucketing) {
+  LatencyHistogram h;
+  h.record_ns(0);    // bucket 0
+  h.record_ns(1);    // bucket 0: [1, 2)
+  h.record_ns(2);    // bucket 1: [2, 4)
+  h.record_ns(3);    // bucket 1
+  h.record_ns(4);    // bucket 2: [4, 8)
+  h.record_ns(7);    // bucket 2
+  h.record_ns(8);    // bucket 3
+  h.record_ns(1024); // bucket 10
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum_ns(), 0u + 1 + 2 + 3 + 4 + 7 + 8 + 1024);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 1049.0 / 8.0);
+}
+
+TEST(HistogramTest, HugeSamplesClampToLastBucket) {
+  LatencyHistogram h;
+  h.record_ns(~u64{0});
+  EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, BucketFloors) {
+  EXPECT_EQ(LatencyHistogram::bucket_floor_ns(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_floor_ns(1), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_floor_ns(10), 1024u);
+}
+
+TEST(HistogramTest, EmptyMeanIsZero) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("cosim.syncs");
+  Counter& b = reg.counter("cosim.syncs");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Kinds are independent namespaces but share contains().
+  Gauge& g1 = reg.gauge("rtos.ticks");
+  Gauge& g2 = reg.gauge("rtos.ticks");
+  EXPECT_EQ(&g1, &g2);
+  LatencyHistogram& h1 = reg.histogram("cosim.sync_rtt_ns");
+  LatencyHistogram& h2 = reg.histogram("cosim.sync_rtt_ns");
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_TRUE(reg.contains("cosim.syncs"));
+  EXPECT_TRUE(reg.contains("rtos.ticks"));
+  EXPECT_TRUE(reg.contains("cosim.sync_rtt_ns"));
+  EXPECT_FALSE(reg.contains("nonexistent"));
+}
+
+TEST(MetricsRegistryTest, InstrumentPointersSurviveGrowth) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("c.0");
+  for (int i = 1; i < 200; ++i) {
+    (void)reg.counter("c." + std::to_string(i));
+  }
+  first.inc(7);
+  EXPECT_EQ(reg.counter("c.0").value(), 7u);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsWellFormedAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("b.count").inc(2);
+  reg.counter("a.count").inc(1);
+  reg.gauge("depth").set(-4);
+  reg.histogram("lat").record_ns(100);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Sorted iteration: "a.count" serialized before "b.count".
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  EXPECT_NE(json.find("\"depth\":-4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonEscaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  // A registry with a hostile name still dumps valid JSON.
+  MetricsRegistry reg;
+  reg.counter("weird\"name\n").inc();
+  EXPECT_TRUE(JsonChecker(reg.to_json()).valid()) << reg.to_json();
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer t;  // default config: disabled
+  EXPECT_FALSE(t.enabled());
+  t.instant("x", "cat");
+  t.complete("y", "cat", 0, 100);
+  { Tracer::Span span(t, "z", "cat"); }
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_TRUE(JsonChecker(t.to_chrome_json()).valid());
+}
+
+TEST(TracerTest, RecordsInstantsAndSpans) {
+  Tracer t{TracerConfig{.enabled = true}};
+  t.instant("tick", "cosim", 42, "cycle");
+  t.complete("sync", "cosim", 1000, 3500);
+  { Tracer::Span span(t, "scoped", "test"); }
+  EXPECT_EQ(t.event_count(), 3u);
+  const std::string json = t.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"tick\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycle\":42"), std::string::npos);
+  // 1000 ns -> "1.000" µs; 2500 ns duration -> "2.500" µs (zero-padded).
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos) << json;
+}
+
+TEST(TracerTest, CapsBufferAndCountsDrops) {
+  Tracer t{TracerConfig{.enabled = true, .max_events = 4}};
+  for (int i = 0; i < 10; ++i) t.instant("e", "cat");
+  EXPECT_EQ(t.event_count(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  EXPECT_TRUE(JsonChecker(t.to_chrome_json()).valid());
+}
+
+TEST(TracerTest, NowNsIsMonotonic) {
+  Tracer t{TracerConfig{.enabled = true}};
+  const u64 a = t.now_ns();
+  const u64 b = t.now_ns();
+  EXPECT_LE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Stall profiler
+
+TEST(StallProfilerTest, DisabledTimerAddsNothing) {
+  StallProfiler p{false};
+  { StallProfiler::Timer timer(p, StallProfiler::Bucket::kAckWait); }
+  EXPECT_EQ(p.total_ns(StallProfiler::Bucket::kAckWait), 0u);
+  EXPECT_EQ(p.samples(StallProfiler::Bucket::kAckWait), 0u);
+}
+
+TEST(StallProfilerTest, AccumulatesPerBucket) {
+  StallProfiler p{true};
+  p.add_ns(StallProfiler::Bucket::kSimulate, 100);
+  p.add_ns(StallProfiler::Bucket::kSimulate, 50);
+  p.add_ns(StallProfiler::Bucket::kAckWait, 999);
+  EXPECT_EQ(p.total_ns(StallProfiler::Bucket::kSimulate), 150u);
+  EXPECT_EQ(p.samples(StallProfiler::Bucket::kSimulate), 2u);
+  EXPECT_EQ(p.total_ns(StallProfiler::Bucket::kAckWait), 999u);
+  EXPECT_EQ(p.total_ns(StallProfiler::Bucket::kDataService), 0u);
+
+  MetricsRegistry reg;
+  p.export_to(reg);
+  EXPECT_EQ(reg.gauge("cosim.wall.simulate_ns").value(), 150);
+  EXPECT_EQ(reg.gauge("cosim.wall.simulate_intervals").value(), 2);
+  EXPECT_EQ(reg.gauge("cosim.wall.ack_wait_ns").value(), 999);
+  EXPECT_EQ(reg.gauge("cosim.wall.data_service_ns").value(), 0);
+}
+
+TEST(StallProfilerTest, EnabledTimerMeasuresElapsedTime) {
+  StallProfiler p{true};
+  {
+    StallProfiler::Timer timer(p, StallProfiler::Bucket::kDataService);
+    std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  }
+  EXPECT_GE(p.total_ns(StallProfiler::Bucket::kDataService), 1'000'000u);
+  EXPECT_EQ(p.samples(StallProfiler::Bucket::kDataService), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hub
+
+TEST(HubTest, DisabledByDefaultButCountersLive) {
+  Hub hub;
+  EXPECT_FALSE(hub.enabled());
+  EXPECT_FALSE(hub.tracer().enabled());
+  EXPECT_FALSE(hub.profiler().enabled());
+  hub.metrics().counter("always.on").inc(5);
+  EXPECT_EQ(hub.metrics().counter("always.on").value(), 5u);
+}
+
+TEST(HubTest, EnabledTurnsOnTracerAndProfiler) {
+  Hub hub{ObsConfig{.enabled = true, .max_trace_events = 128}};
+  EXPECT_TRUE(hub.enabled());
+  EXPECT_TRUE(hub.tracer().enabled());
+  EXPECT_TRUE(hub.profiler().enabled());
+}
+
+TEST(HubTest, CollectorsRunBeforeMetricsDump) {
+  Hub hub;
+  int calls = 0;
+  hub.add_collector([&](MetricsRegistry& reg) {
+    ++calls;
+    reg.gauge("collected.value").set(13);
+  });
+  const std::string json = hub.metrics_json();
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"collected.value\":13"), std::string::npos) << json;
+  // Every dump re-runs the collectors (fresh snapshot each time).
+  (void)hub.metrics_json();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(HubTest, ProfilerBucketsAppearInDump) {
+  Hub hub{ObsConfig{.enabled = true}};
+  hub.profiler().add_ns(StallProfiler::Bucket::kAckWait, 777);
+  const std::string json = hub.metrics_json();
+  EXPECT_NE(json.find("\"cosim.wall.ack_wait_ns\":777"), std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace vhp::obs

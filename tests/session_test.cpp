@@ -194,5 +194,157 @@ TEST(SessionConfigValidation, RejectsInconsistentTiming) {
   EXPECT_THROW(CosimSession{cfg}, std::invalid_argument);
 }
 
+TEST(SessionConfigValidation, RejectsZeroTsync) {
+  SessionConfig cfg;
+  cfg.cosim.t_sync = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+  EXPECT_THROW(CosimSession{cfg}, std::invalid_argument);
+}
+
+TEST(SessionConfigValidation, RejectsZeroClockPeriod) {
+  SessionConfig cfg;
+  cfg.cosim.clock_period = sim::SimTime{0};
+  EXPECT_FALSE(cfg.validate().ok());
+  EXPECT_THROW(CosimSession{cfg}, std::invalid_argument);
+}
+
+TEST(SessionConfigValidation, RejectsZeroDataPollInterval) {
+  SessionConfig cfg;
+  cfg.cosim.data_poll_interval = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+  EXPECT_THROW(CosimSession{cfg}, std::invalid_argument);
+}
+
+TEST(SessionConfigValidation, RejectsZeroRtosDivisors) {
+  SessionConfig cfg;
+  cfg.board.rtos.cycles_per_tick = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg = SessionConfig{};
+  cfg.board.cycles_per_sim_cycle = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+}
+
+TEST(SessionConfigValidation, DefaultAndUntimedConfigsAreValid) {
+  SessionConfig cfg;
+  EXPECT_TRUE(cfg.validate().ok()) << cfg.validate();
+  cfg.set_untimed();
+  EXPECT_TRUE(cfg.validate().ok()) << cfg.validate();
+  // Untimed mode ignores t_sync, so zero is fine there.
+  cfg.cosim.t_sync = 0;
+  EXPECT_TRUE(cfg.validate().ok()) << cfg.validate();
+}
+
+TEST(SessionConfigBuilderTest, BuildsValidatedConfig) {
+  auto result = SessionConfigBuilder{}
+                    .inproc()
+                    .t_sync(250)
+                    .cycles_per_tick(5)
+                    .observability()
+                    .max_trace_events(1024)
+                    .build();
+  ASSERT_TRUE(result.ok()) << result.status();
+  const SessionConfig& cfg = result.value();
+  EXPECT_EQ(cfg.transport, TransportKind::kInProc);
+  EXPECT_EQ(cfg.cosim.t_sync, 250u);
+  EXPECT_EQ(cfg.board.rtos.cycles_per_tick, 5u);
+  EXPECT_TRUE(cfg.obs.enabled);
+  EXPECT_EQ(cfg.obs.max_trace_events, 1024u);
+}
+
+TEST(SessionConfigBuilderTest, BuildReturnsStatusOnBadConfig) {
+  auto result = SessionConfigBuilder{}.t_sync(0).build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_THROW((void)SessionConfigBuilder{}.t_sync(0).build_or_throw(),
+               std::invalid_argument);
+}
+
+// The redesign's core compatibility promise: the legacy stats() views and
+// the vhp::obs metrics registry are the same numbers — stats() is a view
+// over the registry, not a second set of counters that could drift.
+TEST_P(SessionTest, ObsMetricsMatchLegacyStats) {
+  SessionConfig cfg;
+  cfg.transport = GetParam();
+  cfg.cosim.t_sync = 20;
+  cfg.board.rtos.cycles_per_tick = 10;
+  cfg.obs.enabled = true;
+  CosimSession session{cfg};
+
+  EchoDevice echo{session.hw()};
+  auto& board = session.board();
+  rtos::Semaphore reply_ready{board.kernel(), 0};
+  board.attach_device_dsr([&](u32) { reply_ready.post(); });
+  bool done = false;
+  board.spawn_app("parity_app", 8, [&] {
+    for (u32 i = 0; i < 3; ++i) {
+      ASSERT_TRUE(board.dev_write(0x0, DriverCodec<u32>::encode(i)).ok());
+      reply_ready.wait();
+      ASSERT_TRUE(board.dev_read(0x4, 4).ok());
+    }
+    done = true;
+  });
+  session.start_board();
+  for (int chunk = 0; chunk < 400 && !done; ++chunk) {
+    ASSERT_TRUE(session.run_cycles(50).ok());
+  }
+  session.finish();
+  ASSERT_TRUE(done);
+
+  auto& metrics = session.obs().metrics();
+  const auto hw = session.hw().stats();
+  EXPECT_GT(hw.syncs, 0u);
+  EXPECT_EQ(metrics.counter("cosim.syncs").value(), hw.syncs);
+  EXPECT_EQ(metrics.counter("cosim.data_writes").value(), hw.data_writes);
+  EXPECT_EQ(metrics.counter("cosim.data_reads").value(), hw.data_reads);
+  EXPECT_EQ(metrics.counter("cosim.interrupts_sent").value(),
+            hw.interrupts_sent);
+  EXPECT_EQ(metrics.counter("cosim.acks_received").value(), hw.acks_received);
+
+  const auto bd = board.stats();
+  EXPECT_EQ(metrics.counter("board.interrupts_received").value(),
+            bd.interrupts_received);
+  EXPECT_EQ(metrics.counter("board.clock_ticks_received").value(),
+            bd.clock_ticks_received);
+  EXPECT_EQ(metrics.counter("board.acks_sent").value(), bd.acks_sent);
+  EXPECT_EQ(metrics.counter("board.dev_reads").value(), bd.dev_reads);
+  EXPECT_EQ(metrics.counter("board.dev_writes").value(), bd.dev_writes);
+
+  // Protocol symmetry recorded on both sides of the link (the board may
+  // have acked one final tick the kernel no longer waited for at finish).
+  EXPECT_LE(hw.acks_received, bd.acks_sent);
+  EXPECT_LE(bd.acks_sent - hw.acks_received, 1u);
+  // Each sync produced one RTT sample.
+  EXPECT_EQ(session.obs()
+                .metrics()
+                .histogram("cosim.sync_rtt_ns")
+                .count(),
+            hw.syncs);
+
+  // The enabled session produced trace events and a parseable dump pair.
+  EXPECT_GT(session.obs().tracer().event_count(), 0u);
+  const std::string trace = session.obs().trace_json();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("cosim.sync"), std::string::npos);
+  const std::string dump = session.obs().metrics_json();
+  EXPECT_NE(dump.find("\"cosim.syncs\""), std::string::npos);
+  EXPECT_NE(dump.find("\"rtos.context_switches\""), std::string::npos);
+  EXPECT_NE(dump.find("\"cosim.wall.ack_wait_ns\""), std::string::npos);
+  EXPECT_NE(dump.find("\"net.hw.data.tx_frames\""), std::string::npos);
+}
+
+TEST(SessionObsTest, DisabledSessionKeepsCountersButNoTrace) {
+  SessionConfig cfg;  // obs.enabled defaults to false
+  cfg.cosim.t_sync = 20;
+  CosimSession session{cfg};
+  session.start_board();
+  ASSERT_TRUE(session.run_cycles(200).ok());
+  session.finish();
+  EXPECT_FALSE(session.obs().enabled());
+  EXPECT_EQ(session.obs().tracer().event_count(), 0u);
+  // Counters (the stats() backing store) still counted.
+  EXPECT_EQ(session.obs().metrics().counter("cosim.syncs").value(),
+            session.hw().stats().syncs);
+  EXPECT_GT(session.hw().stats().syncs, 0u);
+}
+
 }  // namespace
 }  // namespace vhp::cosim

@@ -47,6 +47,10 @@ struct ExperimentParams {
   /// Metric counters are always live either way and always land in
   /// ExperimentResult::metrics_json.
   bool observability = false;
+  /// Turn on the flight recorder (ring-only, no dump) for this run — the
+  /// ISSUE-2 acceptance check: recording must stay under 5% wall-time
+  /// overhead on fig6_overhead_ratio.
+  bool record = false;
 
   /// Simulated work matched to the traffic: generation span + a drain tail.
   [[nodiscard]] u64 traffic_span_cycles() const {
@@ -87,6 +91,8 @@ inline ExperimentResult run_router_experiment(const ExperimentParams& p) {
   cfg.link_emulation.latency = std::chrono::microseconds{p.link_latency_us};
   cfg.board.rtos.cycles_per_tick = 10;
   cfg.obs.enabled = p.observability;
+  cfg.obs.record.enabled = p.record;
+  cfg.postmortem_prefix.clear();  // benches measure; no dump side effects
   cosim::CosimSession session{cfg};
 
   router::TestbenchConfig tb_cfg;
@@ -179,6 +185,14 @@ inline std::string json_output_path(int argc, char** argv,
 inline bool obs_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--obs") return true;
+  }
+  return false;
+}
+
+/// True when invoked with --record (flight recorder on in the runs).
+inline bool record_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--record") return true;
   }
   return false;
 }

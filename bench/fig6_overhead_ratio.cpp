@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
       p.t_sync = std::nullopt;  // untimed
       p.fixed_cycles = p.traffic_span_cycles();
       p.observability = obs_mode(argc, argv);
+      p.record = record_mode(argc, argv);
       auto r = run_router_experiment(p);
       if (r.wall_seconds < best) {
         best = r.wall_seconds;
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
       p.t_sync = ts;
       p.fixed_cycles = p.traffic_span_cycles();
       p.observability = obs_mode(argc, argv);
+      p.record = record_mode(argc, argv);
       auto r = run_router_experiment(p);
       rows.push_back(JsonRow{
           strformat("\"n\":{},\"t_sync\":{}", ns[j], ts), r.wall_seconds,

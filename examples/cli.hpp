@@ -1,0 +1,62 @@
+// Minimal flag scanning shared by the examples.
+//
+// The examples spell the paper's experiment knobs as positional arguments
+// and a handful of common "--name value" / "--name" options (--obs,
+// --metrics-json, --record, ...). This keeps the parsing in one place
+// without pulling in a real CLI library.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vhp/common/types.hpp"
+
+namespace vhp::examples {
+
+class ArgList {
+ public:
+  ArgList(int argc, char** argv) : args_(argv + 1, argv + argc) {}
+
+  /// Removes "--name <value>" and returns the value; nullopt if absent.
+  std::optional<std::string> take_value(std::string_view name) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        std::string value = args_[i + 1];
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
+                    args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Removes a bare "--name"; true if it was present.
+  bool take_flag(std::string_view name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == name) {
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// What remains after the takes: the positional arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return args_;
+  }
+
+  /// Positional argument `index` as u64, or `fallback` when absent.
+  [[nodiscard]] u64 positional_u64(std::size_t index, u64 fallback) const {
+    if (index >= args_.size()) return fallback;
+    return std::strtoull(args_[index].c_str(), nullptr, 10);
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace vhp::examples

@@ -13,9 +13,11 @@
 // bytes per clock cycle), so the software measures a realistic completion
 // latency in board ticks — the kind of early performance number the paper's
 // methodology exists to provide.
+// Usage: dma_offload [--obs] [--metrics-json path]
 #include <atomic>
 #include <cstdio>
 
+#include "cli.hpp"
 #include "vhp/common/rng.hpp"
 #include "vhp/cosim/session.hpp"
 #include "vhp/rtos/sync.hpp"
@@ -134,11 +136,16 @@ Bytes encode_window_write(u32 addr, std::span<const u8> data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  examples::ArgList args{argc, argv};
+  const bool obs_on = args.take_flag("--obs");
+  const auto metrics_path = args.take_value("--metrics-json");
+
   const auto cfg = cosim::SessionConfigBuilder{}
                        .tcp()
                        .t_sync(200)
                        .cycles_per_tick(10)
+                       .observability(obs_on || metrics_path.has_value())
                        .build_or_throw();
   cosim::CosimSession session{cfg};
 
@@ -210,5 +217,10 @@ int main() {
               (unsigned long long)session.hw().cycle(),
               (unsigned long long)session.hw().stats().syncs,
               dma.mem.resident_pages());
+  if (metrics_path.has_value()) {
+    Status ms = session.write_metrics_json(*metrics_path);
+    std::printf("wrote %s (%s)\n", metrics_path->c_str(),
+                ms.ok() ? "ok" : ms.to_string().c_str());
+  }
   return verified ? 0 : 1;
 }

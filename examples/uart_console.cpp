@@ -4,19 +4,27 @@
 // "terminal" (a serial stimulus on the HDL side) is typing into. A
 // logic-analyzer sniffer on the tx pin decodes what the board printed,
 // exactly as a scope on the real pin would.
+// Usage: uart_console [--obs] [--metrics-json path]
 #include <cstdio>
 
+#include "cli.hpp"
 #include "vhp/cosim/session.hpp"
 #include "vhp/devices/uart.hpp"
 #include "vhp/devices/uart_driver.hpp"
 
 using namespace vhp;
 
-int main() {
-  cosim::SessionConfig cfg;
-  cfg.transport = cosim::TransportKind::kTcp;
-  cfg.cosim.t_sync = 100;
-  cfg.board.rtos.cycles_per_tick = 10;
+int main(int argc, char** argv) {
+  examples::ArgList args{argc, argv};
+  const bool obs_on = args.take_flag("--obs");
+  const auto metrics_path = args.take_value("--metrics-json");
+
+  const auto cfg = cosim::SessionConfigBuilder{}
+                       .tcp()
+                       .t_sync(100)
+                       .cycles_per_tick(10)
+                       .observability(obs_on || metrics_path.has_value())
+                       .build_or_throw();
   cosim::CosimSession session{cfg};
 
   devices::UartModel::Config uart_cfg;
@@ -76,5 +84,10 @@ int main() {
               (unsigned long long)uart.stats().bytes_rx,
               (unsigned long long)(uart.stats().tx_overflows +
                                    uart.stats().rx_overflows));
+  if (metrics_path.has_value()) {
+    Status ms = session.write_metrics_json(*metrics_path);
+    std::printf("wrote %s (%s)\n", metrics_path->c_str(),
+                ms.ok() ? "ok" : ms.to_string().c_str());
+  }
   return halted && scope.framing_errors() == 0 ? 0 : 1;
 }

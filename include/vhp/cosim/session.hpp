@@ -4,6 +4,7 @@
 // (the paper's medium; used by the benchmarks).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -28,6 +29,11 @@ struct SessionConfig {
   /// (timeline tracing, stall profiling, per-frame link accounting) are
   /// opt-in; plain metric counters always run.
   obs::ObsConfig obs{};
+  /// Where post-mortem flight-recorder dumps land when obs.record is on:
+  /// "<prefix>.{hw,board}.jsonl" on an error Status from run_cycles(), a
+  /// deadline timeout, or a fatal signal (install_postmortem_signal_handler).
+  /// Empty disables automatic dumping.
+  std::string postmortem_prefix = "vhp-postmortem";
 
   /// Convenience: configure the matching untimed baseline (no sync traffic,
   /// free-running board) used as Figure 6's denominator.
@@ -111,6 +117,27 @@ class SessionConfigBuilder {
     return *this;
   }
 
+  /// Flight recorder (independent of observability()): ring-only frame
+  /// capture on all three ports of both sides. The default payload cap is
+  /// raised to the frame-size maximum so recordings stay replayable.
+  SessionConfigBuilder& record(bool on = true) {
+    config_.obs.record.enabled = on;
+    if (on) config_.obs.record.max_payload_bytes = 1u << 16;
+    return *this;
+  }
+  SessionConfigBuilder& record_ring(std::size_t frames) {
+    config_.obs.record.ring_frames = frames;
+    return *this;
+  }
+  SessionConfigBuilder& record_payload_bytes(std::size_t bytes) {
+    config_.obs.record.max_payload_bytes = bytes;
+    return *this;
+  }
+  SessionConfigBuilder& postmortem_prefix(std::string prefix) {
+    config_.postmortem_prefix = std::move(prefix);
+    return *this;
+  }
+
   /// Validated result: the config, or the first rule it breaks.
   [[nodiscard]] Result<SessionConfig> build() const {
     Status s = config_.validate();
@@ -163,13 +190,39 @@ class CosimSession {
   /// Boots the board host thread.
   void start_board();
 
-  /// Runs the co-simulation for `cycles` HW clock cycles.
-  Status run_cycles(u64 cycles) { return hw_->run_cycles(cycles); }
+  /// Runs the co-simulation for `cycles` HW clock cycles. A non-OK Status
+  /// (transport failure, deadline timeout, protocol error) triggers an
+  /// automatic post-mortem dump of both flight-recorder rings (see
+  /// SessionConfig::postmortem_prefix) before it is returned.
+  Status run_cycles(u64 cycles);
 
   /// Sends SHUTDOWN and joins the board thread.
   void finish();
 
+  /// Writes both sides' flight-recorder rings as replayable recordings:
+  /// "<prefix>.hw.vhprec" and "<prefix>.board.vhprec" (binary). The standard
+  /// config-echo tags (t_sync, poll interval, RTOS timing) are embedded so a
+  /// replay run can rebuild the matching lone-side configuration; `tags`
+  /// adds workload-specific ones on top. No-op unless obs.record is enabled.
+  Status write_recordings(
+      const std::string& prefix,
+      const std::map<std::string, std::string>& tags = {});
+
+  /// Flushes the last N frames per side to "<postmortem_prefix>.<side>.jsonl"
+  /// with a "reason" tag. Called automatically on run_cycles() errors;
+  /// callable directly for watchdog-style tooling.
+  void dump_postmortem(const std::string& reason);
+
+  /// Best-effort crash dumps: on SIGINT/SIGTERM the most recently
+  /// constructed live session flushes its rings, then the default handler
+  /// runs. (File I/O from a signal handler is not strictly async-signal-safe
+  /// — acceptable for a debug aid that fires on the way down.)
+  static void install_postmortem_signal_handler();
+
  private:
+  [[nodiscard]] std::map<std::string, std::string> config_tags() const;
+
+  SessionConfig config_;
   std::unique_ptr<obs::Hub> hub_;  // outlives both sides, they hold Hub*
   std::unique_ptr<CosimKernel> hw_;
   std::unique_ptr<board::BoardHost> host_;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "vhp/net/channel.hpp"
+#include "vhp/obs/flight_recorder.hpp"
 #include "vhp/obs/hub.hpp"
 
 namespace vhp::net {
@@ -22,5 +23,17 @@ namespace vhp::net {
 /// Wraps all three ports of a link; `side` is "hw" or "board".
 [[nodiscard]] CosimLink instrument_link(CosimLink link, obs::Hub& hub,
                                         const std::string& side);
+
+/// Flight-recorder decorator: every frame sent or received on the channel is
+/// appended to `recorder`'s ring as `port` traffic. When the recorder is
+/// disabled this returns `inner` unchanged — no decorator hop, same pointer
+/// (the cheap-enough-to-leave-on contract from obs/flight_recorder.hpp).
+[[nodiscard]] ChannelPtr record_channel(ChannelPtr inner,
+                                        obs::FlightRecorder& recorder,
+                                        obs::LinkPort port);
+
+/// Wraps all three ports of one side's link with record_channel.
+[[nodiscard]] CosimLink record_link(CosimLink link,
+                                    obs::FlightRecorder& recorder);
 
 }  // namespace vhp::net

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "vhp/common/status.hpp"
+#include "vhp/obs/flight_recorder.hpp"
 #include "vhp/obs/metrics.hpp"
 #include "vhp/obs/stall_profiler.hpp"
 #include "vhp/obs/trace.hpp"
@@ -29,6 +30,9 @@ struct ObsConfig {
   bool enabled = false;
   /// Tracer buffer cap (events beyond it are dropped and counted).
   std::size_t max_trace_events = 1u << 20;
+  /// Flight recorder: independent of `enabled` — ring-only frame capture is
+  /// cheap enough to leave on while the costly instruments stay off.
+  FlightRecorderConfig record{};
 };
 
 class Hub {
@@ -44,6 +48,11 @@ class Hub {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] StallProfiler& profiler() { return profiler_; }
+
+  /// Per-side flight recorders (rings stay empty unless config.record is
+  /// enabled). The session wires these into the link via net::record_link.
+  [[nodiscard]] FlightRecorder& hw_recorder() { return hw_recorder_; }
+  [[nodiscard]] FlightRecorder& board_recorder() { return board_recorder_; }
 
   /// Registers a pre-dump hook: called by metrics_json() so lazily-computed
   /// series (RTOS kernel totals, profiler buckets) are fresh in the dump.
@@ -67,6 +76,8 @@ class Hub {
   MetricsRegistry metrics_;
   Tracer tracer_;
   StallProfiler profiler_;
+  FlightRecorder hw_recorder_;
+  FlightRecorder board_recorder_;
 
   std::mutex collectors_mu_;
   std::vector<std::function<void(MetricsRegistry&)>> collectors_;

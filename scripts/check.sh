@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local gate: build and test the release, asan and tsan presets back to
+# back. The tsan run only selects suites labeled "tsan" in tests/CMakeLists.txt
+# (fiber-free — ThreadSanitizer cannot follow ucontext stack switches).
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in default asan tsan; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" "$@"
+done
+
+echo "All presets passed."

@@ -1,14 +1,51 @@
 #include "vhp/cosim/session.hpp"
 
+#include <csignal>
+
+#include <atomic>
 #include <stdexcept>
 #include <thread>
 
+#include "vhp/common/format.hpp"
+#include "vhp/common/log.hpp"
 #include "vhp/net/inproc.hpp"
 #include "vhp/net/instrumented.hpp"
 #include "vhp/net/latency.hpp"
 #include "vhp/net/tcp.hpp"
+#include "vhp/obs/recording.hpp"
 
 namespace vhp::cosim {
+
+namespace {
+
+const Logger& session_log() {
+  static const Logger log{"cosim"};
+  return log;
+}
+
+// The signal handler needs a session to flush; track the most recently
+// constructed live one. A plain atomic pointer: sessions unregister in
+// their destructor, and the handler only ever reads it once on the way down.
+std::atomic<CosimSession*> g_postmortem_session{nullptr};
+
+extern "C" void postmortem_signal_handler(int signum) {
+  if (CosimSession* session = g_postmortem_session.load()) {
+    session->dump_postmortem(strformat("signal {}", signum));
+  }
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+
+obs::Recording snapshot_recording(obs::FlightRecorder& recorder,
+                                  std::map<std::string, std::string> tags) {
+  obs::Recording rec;
+  rec.meta.side = recorder.side();
+  rec.meta.tags = std::move(tags);
+  rec.frames = recorder.snapshot();
+  return rec;
+}
+
+}  // namespace
 
 Status SessionConfig::validate() const {
   Status s = cosim.validate();
@@ -41,12 +78,12 @@ SessionConfig SessionConfigBuilder::build_or_throw() const {
   return config_;
 }
 
-CosimSession::CosimSession(SessionConfig config) {
-  Status valid = config.validate();
+CosimSession::CosimSession(SessionConfig config) : config_(std::move(config)) {
+  Status valid = config_.validate();
   if (!valid.ok()) throw std::invalid_argument(valid.to_string());
-  hub_ = std::make_unique<obs::Hub>(config.obs);
+  hub_ = std::make_unique<obs::Hub>(config_.obs);
   net::LinkPair pair;
-  if (config.transport == TransportKind::kInProc) {
+  if (config_.transport == TransportKind::kInProc) {
     pair = net::make_inproc_link_pair();
   } else {
     net::TcpLinkListener listener;
@@ -68,21 +105,109 @@ CosimSession::CosimSession(SessionConfig config) {
     pair.hw = std::move(hw_link).value();
     pair.board = std::move(board_link).value();
   }
-  pair = net::emulate_latency(std::move(pair), config.link_emulation);
+  pair = net::emulate_latency(std::move(pair), config_.link_emulation);
   if (hub_->enabled()) {
     // Per-frame link accounting costs a virtual hop per operation; wrap the
     // transports only when observability is on.
     pair.hw = net::instrument_link(std::move(pair.hw), *hub_, "hw");
     pair.board = net::instrument_link(std::move(pair.board), *hub_, "board");
   }
-  hw_ = std::make_unique<CosimKernel>(std::move(pair.hw), config.cosim,
+  // The flight recorder wraps innermost-last so it sees exactly the frames
+  // that cross the transport. When recording is off, record_link is an
+  // identity — the transports stay unwrapped.
+  pair.hw = net::record_link(std::move(pair.hw), hub_->hw_recorder());
+  pair.board = net::record_link(std::move(pair.board),
+                                hub_->board_recorder());
+  hw_ = std::make_unique<CosimKernel>(std::move(pair.hw), config_.cosim,
                                       hub_.get());
-  host_ = std::make_unique<board::BoardHost>(config.board,
+  host_ = std::make_unique<board::BoardHost>(config_.board,
                                              std::move(pair.board),
                                              hub_.get());
+  // Virtual-time stamps: each recorder is driven from its own side's
+  // thread, so it reads that side's clock only (the other field stays 0).
+  hub_->hw_recorder().set_hw_time_source(
+      [kernel = hw_.get()] { return kernel->cycle(); });
+  hub_->board_recorder().set_board_time_source(
+      [board = &host_->board()] { return board->kernel().tick_count().value(); });
+  g_postmortem_session.store(this);
 }
 
-CosimSession::~CosimSession() { finish(); }
+CosimSession::~CosimSession() {
+  CosimSession* self = this;
+  g_postmortem_session.compare_exchange_strong(self, nullptr);
+  finish();
+}
+
+Status CosimSession::run_cycles(u64 cycles) {
+  Status s = hw_->run_cycles(cycles);
+  if (!s.ok()) {
+    dump_postmortem(s.to_string());
+  }
+  return s;
+}
+
+std::map<std::string, std::string> CosimSession::config_tags() const {
+  // Config echo: enough to rebuild a matching lone-side configuration for
+  // replay (net::ReplaySession) without the original command line.
+  std::map<std::string, std::string> tags;
+  tags["t_sync"] = strformat("{}", config_.cosim.t_sync);
+  tags["data_poll_interval"] =
+      strformat("{}", config_.cosim.data_poll_interval);
+  tags["timed"] = config_.cosim.timed ? "1" : "0";
+  tags["cycles_per_tick"] =
+      strformat("{}", config_.board.rtos.cycles_per_tick);
+  tags["timeslice_ticks"] =
+      strformat("{}", config_.board.rtos.timeslice_ticks);
+  tags["cycles_per_sim_cycle"] =
+      strformat("{}", config_.board.cycles_per_sim_cycle);
+  return tags;
+}
+
+Status CosimSession::write_recordings(
+    const std::string& prefix, const std::map<std::string, std::string>& tags) {
+  if (!config_.obs.record.enabled) {
+    return Status{StatusCode::kFailedPrecondition,
+                  "flight recorder is disabled (SessionConfig::obs.record)"};
+  }
+  std::map<std::string, std::string> all = config_tags();
+  for (const auto& [key, value] : tags) all[key] = value;
+  for (obs::FlightRecorder* recorder :
+       {&hub_->hw_recorder(), &hub_->board_recorder()}) {
+    const std::string path = prefix + "." + recorder->side() + ".vhprec";
+    Status s = obs::write_recording(path,
+                                    snapshot_recording(*recorder, all),
+                                    obs::RecordingFormat::kBinary);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+void CosimSession::dump_postmortem(const std::string& reason) {
+  if (!config_.obs.record.enabled || config_.postmortem_prefix.empty()) {
+    return;
+  }
+  std::map<std::string, std::string> tags = config_tags();
+  tags["reason"] = reason;
+  for (obs::FlightRecorder* recorder :
+       {&hub_->hw_recorder(), &hub_->board_recorder()}) {
+    const std::string path =
+        config_.postmortem_prefix + "." + recorder->side() + ".jsonl";
+    Status s = obs::write_recording(path,
+                                    snapshot_recording(*recorder, tags),
+                                    obs::RecordingFormat::kJsonl);
+    if (s.ok()) {
+      session_log().warn("post-mortem: {} frames -> {} ({})",
+                         recorder->recorded(), path, reason);
+    } else {
+      session_log().error("post-mortem dump failed: {}", s.to_string());
+    }
+  }
+}
+
+void CosimSession::install_postmortem_signal_handler() {
+  std::signal(SIGINT, &postmortem_signal_handler);
+  std::signal(SIGTERM, &postmortem_signal_handler);
+}
 
 void CosimSession::start_board() {
   if (started_) return;

@@ -64,6 +64,43 @@ class InstrumentedChannel final : public Channel {
   std::string trace_name_;
 };
 
+// Appends every frame crossing the channel to the flight recorder's ring.
+// tx is stamped after a successful send, rx after a successful (non-empty)
+// receive, so the ring reflects frames that actually crossed the transport.
+class RecordedChannel final : public Channel {
+ public:
+  RecordedChannel(ChannelPtr inner, obs::FlightRecorder& recorder,
+                  obs::LinkPort port)
+      : inner_(std::move(inner)), recorder_(recorder), port_(port) {}
+
+  Status send(std::span<const u8> frame) override {
+    Status s = inner_->send(frame);
+    if (s.ok()) recorder_.record(port_, obs::LinkDir::kTx, frame);
+    return s;
+  }
+
+  Result<Bytes> recv(std::optional<std::chrono::milliseconds> timeout) override {
+    auto frame = inner_->recv(timeout);
+    if (frame.ok()) recorder_.record(port_, obs::LinkDir::kRx, frame.value());
+    return frame;
+  }
+
+  Result<std::optional<Bytes>> try_recv() override {
+    auto frame = inner_->try_recv();
+    if (frame.ok() && frame.value().has_value()) {
+      recorder_.record(port_, obs::LinkDir::kRx, *frame.value());
+    }
+    return frame;
+  }
+
+  void close() override { inner_->close(); }
+
+ private:
+  ChannelPtr inner_;
+  obs::FlightRecorder& recorder_;
+  obs::LinkPort port_;
+};
+
 }  // namespace
 
 ChannelPtr instrument_channel(ChannelPtr inner, obs::Hub& hub,
@@ -76,6 +113,22 @@ CosimLink instrument_link(CosimLink link, obs::Hub& hub,
   link.data = instrument_channel(std::move(link.data), hub, side + ".data");
   link.intr = instrument_channel(std::move(link.intr), hub, side + ".int");
   link.clock = instrument_channel(std::move(link.clock), hub, side + ".clock");
+  return link;
+}
+
+ChannelPtr record_channel(ChannelPtr inner, obs::FlightRecorder& recorder,
+                          obs::LinkPort port) {
+  if (!recorder.enabled()) return inner;  // disabled: no decorator hop
+  return std::make_unique<RecordedChannel>(std::move(inner), recorder, port);
+}
+
+CosimLink record_link(CosimLink link, obs::FlightRecorder& recorder) {
+  link.data =
+      record_channel(std::move(link.data), recorder, obs::LinkPort::kData);
+  link.intr =
+      record_channel(std::move(link.intr), recorder, obs::LinkPort::kInt);
+  link.clock =
+      record_channel(std::move(link.clock), recorder, obs::LinkPort::kClock);
   return link;
 }
 

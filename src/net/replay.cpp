@@ -1,0 +1,347 @@
+#include "vhp/net/replay.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "vhp/common/checksum.hpp"
+#include "vhp/common/format.hpp"
+
+namespace vhp::net {
+
+namespace {
+
+using obs::FrameRecord;
+using obs::LinkDir;
+using obs::LinkPort;
+
+std::string bytes_diff(std::string_view what, const Bytes& a, const Bytes& b) {
+  if (a.size() != b.size()) {
+    return strformat("{} size: {} vs {}", what, a.size(), b.size());
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return strformat("{}[{}]: {} vs {}", what, i,
+                       static_cast<unsigned>(a[i]),
+                       static_cast<unsigned>(b[i]));
+    }
+  }
+  return {};
+}
+
+template <typename T>
+std::string field_diff(std::string_view type, std::string_view field, T a,
+                       T b) {
+  if (a == b) return {};
+  return strformat("{}.{}: {} vs {}", type, field, a, b);
+}
+
+}  // namespace
+
+std::string message_field_diff(const FrameRecord& expected,
+                               const FrameRecord& actual) {
+  // A clipped payload cannot be decoded; let the byte-level report speak.
+  if (expected.truncated || actual.truncated) return {};
+  auto lhs = decode(expected.payload);
+  auto rhs = decode(actual.payload);
+  if (!lhs.ok() || !rhs.ok()) return {};
+  const MsgType lt = type_of(lhs.value());
+  const MsgType rt = type_of(rhs.value());
+  if (lt != rt) {
+    return strformat("type: {} vs {}", to_string(lt), to_string(rt));
+  }
+  const Message& a = lhs.value();
+  const Message& b = rhs.value();
+  switch (lt) {
+    case MsgType::kDataWrite: {
+      const auto& x = std::get<DataWrite>(a);
+      const auto& y = std::get<DataWrite>(b);
+      std::string d = field_diff("DataWrite", "address", x.address, y.address);
+      return d.empty() ? bytes_diff("DataWrite.data", x.data, y.data) : d;
+    }
+    case MsgType::kDataReadReq: {
+      const auto& x = std::get<DataReadReq>(a);
+      const auto& y = std::get<DataReadReq>(b);
+      std::string d =
+          field_diff("DataReadReq", "address", x.address, y.address);
+      return d.empty()
+                 ? field_diff("DataReadReq", "nbytes", x.nbytes, y.nbytes)
+                 : d;
+    }
+    case MsgType::kDataReadResp: {
+      const auto& x = std::get<DataReadResp>(a);
+      const auto& y = std::get<DataReadResp>(b);
+      std::string d =
+          field_diff("DataReadResp", "address", x.address, y.address);
+      return d.empty() ? bytes_diff("DataReadResp.data", x.data, y.data) : d;
+    }
+    case MsgType::kIntRaise:
+      return field_diff("IntRaise", "vector", std::get<IntRaise>(a).vector,
+                        std::get<IntRaise>(b).vector);
+    case MsgType::kClockTick: {
+      const auto& x = std::get<ClockTick>(a);
+      const auto& y = std::get<ClockTick>(b);
+      std::string d =
+          field_diff("ClockTick", "sim_cycle", x.sim_cycle, y.sim_cycle);
+      return d.empty()
+                 ? field_diff("ClockTick", "n_ticks", x.n_ticks, y.n_ticks)
+                 : d;
+    }
+    case MsgType::kTimeAck:
+      return field_diff("TimeAck", "board_tick",
+                        std::get<TimeAck>(a).board_tick,
+                        std::get<TimeAck>(b).board_tick);
+    case MsgType::kShutdown:
+      return {};
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+
+struct ReplaySession::State {
+  mutable std::mutex mu;
+  std::vector<FrameRecord> records;  // global sequence order
+  std::vector<bool> consumed;
+  // First index holding an unconsumed tx record: every rx record below it
+  // has its causality gate satisfied.
+  std::size_t barrier = 0;
+  // Per-(port,dir) scan hints so the FIFO lookups stay O(1) amortized.
+  std::size_t hint[3][2] = {};
+  obs::FrameDiffFn diff = nullptr;
+  std::function<u64()> time_source;
+  bool gate_on_board_tick = false;  // recording side picks the stamp field
+  std::optional<obs::Divergence> divergence;
+  u64 n_consumed = 0;
+  bool closed = false;
+
+  void advance_barrier() {
+    while (barrier < records.size() &&
+           (records[barrier].dir == LinkDir::kRx || consumed[barrier])) {
+      ++barrier;
+    }
+  }
+
+  /// First unconsumed record on (port, dir), or records.size().
+  std::size_t next_index(LinkPort port, LinkDir dir) {
+    std::size_t& h = hint[static_cast<std::size_t>(port)]
+                         [static_cast<std::size_t>(dir)];
+    while (h < records.size() &&
+           (consumed[h] || records[h].port != port || records[h].dir != dir)) {
+      ++h;
+    }
+    return h;
+  }
+
+  void consume(std::size_t index) {
+    consumed[index] = true;
+    ++n_consumed;
+    advance_barrier();
+  }
+
+  Status diverged_status() const {
+    return Status{StatusCode::kFailedPrecondition,
+                  "replay diverged: " + divergence->to_string()};
+  }
+
+  // Called with mu held. Compares the live side's send against the recorded
+  // tx stream; latches the first mismatch.
+  Status check_tx(LinkPort port, std::span<const u8> frame) {
+    if (divergence.has_value()) return diverged_status();
+    const std::size_t index = next_index(port, LinkDir::kTx);
+    if (index >= records.size()) {
+      divergence = obs::Divergence{
+          .seq = records.empty() ? 0 : records.back().seq,
+          .port = port,
+          .dir = LinkDir::kTx,
+          .reason = strformat("live side sent an extra frame on {} tx "
+                              "beyond the recording",
+                              obs::to_string(port))};
+      return diverged_status();
+    }
+    const FrameRecord& expected = records[index];
+    FrameRecord live;
+    live.port = port;
+    live.dir = LinkDir::kTx;
+    live.msg_type = frame.empty() ? 0 : frame[0];
+    live.payload_size = static_cast<u32>(frame.size());
+    live.digest = crc32(frame);
+    live.payload.assign(frame.begin(), frame.end());
+    if (expected.truncated && live.payload.size() > expected.payload.size()) {
+      live.payload.resize(expected.payload.size());
+      live.truncated = true;
+    }
+    std::string reason = obs::compare_frames(expected, live, diff);
+    if (!reason.empty()) {
+      divergence = obs::Divergence{.seq = expected.seq,
+                                   .port = port,
+                                   .dir = LinkDir::kTx,
+                                   .hw_cycle = expected.hw_cycle,
+                                   .board_tick = expected.board_tick,
+                                   .reason = std::move(reason)};
+      return diverged_status();
+    }
+    consume(index);
+    return Status::Ok();
+  }
+
+  enum class Rx { kDelivered, kPending, kExhausted, kDiverged, kClosed };
+
+  // Called with mu held. Tries to deliver the next recorded rx frame for
+  // `port`, honoring the causality and virtual-time gates.
+  Rx try_deliver(LinkPort port, Bytes& out) {
+    if (divergence.has_value()) return Rx::kDiverged;
+    if (closed) return Rx::kClosed;
+    const std::size_t index = next_index(port, LinkDir::kRx);
+    if (index >= records.size()) return Rx::kExhausted;
+    if (index > barrier) return Rx::kPending;  // earlier tx not re-sent yet
+    const FrameRecord& record = records[index];
+    if (time_source) {
+      const u64 stamp = gate_on_board_tick ? record.board_tick
+                                           : record.hw_cycle;
+      if (time_source() < stamp) return Rx::kPending;
+    }
+    out = record.payload;
+    consume(index);
+    return Rx::kDelivered;
+  }
+};
+
+namespace {
+
+class ReplayChannel final : public Channel {
+ public:
+  ReplayChannel(std::shared_ptr<ReplaySession::State> state, LinkPort port)
+      : state_(std::move(state)), port_(port) {}
+
+  Status send(std::span<const u8> frame) override {
+    std::scoped_lock lock(state_->mu);
+    return state_->check_tx(port_, frame);
+  }
+
+  Result<Bytes> recv(
+      std::optional<std::chrono::milliseconds> timeout) override {
+    const auto deadline = timeout.has_value()
+                              ? std::chrono::steady_clock::now() + *timeout
+                              : std::chrono::steady_clock::time_point::max();
+    for (;;) {
+      Bytes out;
+      ReplaySession::State::Rx rx;
+      {
+        std::scoped_lock lock(state_->mu);
+        rx = state_->try_deliver(port_, out);
+        if (rx == ReplaySession::State::Rx::kDiverged) {
+          return state_->diverged_status();
+        }
+      }
+      switch (rx) {
+        case ReplaySession::State::Rx::kDelivered:
+          return out;
+        case ReplaySession::State::Rx::kExhausted:
+        case ReplaySession::State::Rx::kClosed:
+          return Status{StatusCode::kAborted,
+                        strformat("replay: no further {} rx frames recorded",
+                                  obs::to_string(port_))};
+        default:
+          break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status{StatusCode::kDeadlineExceeded, "replay recv timeout"};
+      }
+      // The gates open as the live side makes progress on its own thread;
+      // a short poll keeps the lone-side loop faithful without a real peer.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  Result<std::optional<Bytes>> try_recv() override {
+    std::scoped_lock lock(state_->mu);
+    Bytes out;
+    switch (state_->try_deliver(port_, out)) {
+      case ReplaySession::State::Rx::kDelivered:
+        return std::optional<Bytes>{std::move(out)};
+      case ReplaySession::State::Rx::kDiverged:
+        return state_->diverged_status();
+      case ReplaySession::State::Rx::kClosed:
+        return Status{StatusCode::kAborted, "replay link closed"};
+      default:
+        return std::optional<Bytes>{};  // nothing deliverable yet
+    }
+  }
+
+  void close() override {
+    std::scoped_lock lock(state_->mu);
+    state_->closed = true;
+  }
+
+ private:
+  std::shared_ptr<ReplaySession::State> state_;
+  LinkPort port_;
+};
+
+}  // namespace
+
+ReplaySession::ReplaySession() : state_(std::make_shared<State>()) {}
+ReplaySession::~ReplaySession() = default;
+
+Result<std::unique_ptr<ReplaySession>> ReplaySession::open(
+    obs::Recording recording, ReplayOptions options) {
+  for (const FrameRecord& r : recording.frames) {
+    if (r.dir == LinkDir::kRx && r.truncated) {
+      return Status{
+          StatusCode::kInvalidArgument,
+          strformat("recording not replayable: rx frame seq {} on {} is "
+                    "truncated ({} of {} bytes stored); re-record with a "
+                    "larger max_payload_bytes",
+                    r.seq, obs::to_string(r.port), r.payload.size(),
+                    r.payload_size)};
+    }
+  }
+  auto session = std::unique_ptr<ReplaySession>(new ReplaySession());
+  State& state = *session->state_;
+  state.records = std::move(recording.frames);
+  std::sort(state.records.begin(), state.records.end(),
+            [](const FrameRecord& a, const FrameRecord& b) {
+              return a.seq < b.seq;
+            });
+  state.consumed.assign(state.records.size(), false);
+  state.diff = options.diff;
+  state.time_source = std::move(options.time_source);
+  state.gate_on_board_tick = recording.meta.side == "board";
+  state.advance_barrier();
+  return session;
+}
+
+CosimLink ReplaySession::make_link() {
+  CosimLink link;
+  link.data = std::make_unique<ReplayChannel>(state_, LinkPort::kData);
+  link.intr = std::make_unique<ReplayChannel>(state_, LinkPort::kInt);
+  link.clock = std::make_unique<ReplayChannel>(state_, LinkPort::kClock);
+  return link;
+}
+
+void ReplaySession::set_time_source(std::function<u64()> source) {
+  std::scoped_lock lock(state_->mu);
+  state_->time_source = std::move(source);
+}
+
+std::optional<obs::Divergence> ReplaySession::divergence() const {
+  std::scoped_lock lock(state_->mu);
+  return state_->divergence;
+}
+
+u64 ReplaySession::consumed() const {
+  std::scoped_lock lock(state_->mu);
+  return state_->n_consumed;
+}
+
+u64 ReplaySession::total() const {
+  std::scoped_lock lock(state_->mu);
+  return state_->records.size();
+}
+
+bool ReplaySession::complete() const {
+  std::scoped_lock lock(state_->mu);
+  return state_->n_consumed == state_->records.size();
+}
+
+}  // namespace vhp::net

@@ -7,7 +7,9 @@ namespace vhp::obs {
 Hub::Hub(ObsConfig config)
     : config_(config),
       tracer_(TracerConfig{config.enabled, config.max_trace_events}),
-      profiler_(config.enabled) {}
+      profiler_(config.enabled),
+      hw_recorder_(config.record, "hw"),
+      board_recorder_(config.record, "board") {}
 
 void Hub::add_collector(std::function<void(MetricsRegistry&)> collector) {
   std::scoped_lock lock(collectors_mu_);
@@ -20,6 +22,16 @@ std::string Hub::metrics_json() {
     for (auto& collector : collectors_) collector(metrics_);
   }
   profiler_.export_to(metrics_);
+  hw_recorder_.export_to(metrics_);
+  board_recorder_.export_to(metrics_);
+  // Truncated timelines are self-announcing: a dump that hit the trace
+  // buffer cap carries the overflow count next to the event count.
+  if (config_.enabled) {
+    metrics_.gauge("obs.trace.events")
+        .set(static_cast<i64>(tracer_.event_count()));
+    metrics_.gauge("obs.trace.dropped_events")
+        .set(static_cast<i64>(tracer_.dropped()));
+  }
   return metrics_.to_json();
 }
 

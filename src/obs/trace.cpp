@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "vhp/common/log.hpp"
 #include "vhp/obs/metrics.hpp"
 
 namespace vhp::obs {
@@ -53,12 +54,23 @@ void Tracer::complete(std::string name, const char* category, u64 start_ns,
 }
 
 void Tracer::record(Event ev) {
-  std::scoped_lock lock(mu_);
-  if (events_.size() >= config_.max_events) {
-    ++dropped_;
-    return;
+  bool first_drop = false;
+  {
+    std::scoped_lock lock(mu_);
+    if (events_.size() >= config_.max_events) {
+      first_drop = dropped_++ == 0;
+    } else {
+      events_.push_back(std::move(ev));
+    }
   }
-  events_.push_back(std::move(ev));
+  // Warn once, outside the lock: every later trace_json() is silently
+  // missing the tail otherwise.
+  if (first_drop) {
+    static const Logger log{"obs"};
+    log.warn("trace buffer full ({} events); further events are dropped "
+             "(raise ObsConfig::max_trace_events)",
+             config_.max_events);
+  }
 }
 
 std::size_t Tracer::event_count() const {

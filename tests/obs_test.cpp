@@ -405,5 +405,20 @@ TEST(HubTest, ProfilerBucketsAppearInDump) {
       << json;
 }
 
+
+TEST(HubTest, TracerDropCountAppearsInDump) {
+  // ObsConfig::max_trace_events caps the buffer; the surplus is counted and
+  // surfaced in the metrics dump so a clipped trace is visibly clipped.
+  Hub hub{ObsConfig{.enabled = true, .max_trace_events = 4}};
+  for (int i = 0; i < 10; ++i) hub.tracer().instant("ev", "test");
+  EXPECT_EQ(hub.tracer().event_count(), 4u);
+  EXPECT_EQ(hub.tracer().dropped(), 6u);
+  const std::string json = hub.metrics_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"obs.trace.events\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"obs.trace.dropped_events\":6"), std::string::npos)
+      << json;
+}
+
 }  // namespace
 }  // namespace vhp::obs

@@ -1,0 +1,183 @@
+// vhptrace — inspect flight-recorder recordings from the command line.
+//
+//   vhptrace inspect <recording> [--limit N] [--port data|int|clock]
+//   vhptrace stats <recording>
+//   vhptrace diff <recording-a> <recording-b>
+//   vhptrace to-chrome <recording> [out.json]
+//
+// Thin shell over the library: the subcommand logic lives in
+// vhp/obs/recording.hpp (tested there); this file only parses arguments.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "vhp/common/format.hpp"
+#include "vhp/net/message.hpp"
+#include "vhp/net/replay.hpp"
+#include "vhp/obs/recording.hpp"
+
+namespace {
+
+using namespace vhp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vhptrace <subcommand> ...\n"
+               "  inspect <recording> [--limit N] [--port data|int|clock]\n"
+               "      one frame per line: seq, port, dir, decoded message,\n"
+               "      virtual time stamps\n"
+               "  stats <recording>\n"
+               "      per-port frame/byte totals, message-type histogram,\n"
+               "      time span\n"
+               "  diff <a> <b>\n"
+               "      first mismatching frame between two recordings\n"
+               "      (exit 1 when they diverge)\n"
+               "  to-chrome <recording> [out.json]\n"
+               "      Chrome trace_event JSON (chrome://tracing, Perfetto)\n");
+  return 2;
+}
+
+obs::Recording load_or_exit(const std::string& path) {
+  auto rec = obs::read_recording(path);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "vhptrace: %s\n", rec.status().to_string().c_str());
+    std::exit(2);
+  }
+  return std::move(rec).value();
+}
+
+/// One human-readable line per frame: the decoded protocol message when the
+/// payload is whole, the type/size/digest summary otherwise.
+std::string describe(const obs::FrameRecord& r) {
+  std::string msg;
+  if (!r.truncated) {
+    auto decoded = net::decode(r.payload);
+    if (decoded.ok()) {
+      const net::Message& m = decoded.value();
+      msg = std::string(net::to_string(net::type_of(m)));
+      switch (net::type_of(m)) {
+        case net::MsgType::kDataWrite: {
+          const auto& w = std::get<net::DataWrite>(m);
+          msg += strformat(" addr={} len={}", w.address, w.data.size());
+          break;
+        }
+        case net::MsgType::kDataReadReq: {
+          const auto& q = std::get<net::DataReadReq>(m);
+          msg += strformat(" addr={} nbytes={}", q.address, q.nbytes);
+          break;
+        }
+        case net::MsgType::kDataReadResp: {
+          const auto& p = std::get<net::DataReadResp>(m);
+          msg += strformat(" addr={} len={}", p.address, p.data.size());
+          break;
+        }
+        case net::MsgType::kIntRaise:
+          msg += strformat(" vector={}", std::get<net::IntRaise>(m).vector);
+          break;
+        case net::MsgType::kClockTick: {
+          const auto& t = std::get<net::ClockTick>(m);
+          msg += strformat(" sim_cycle={} n_ticks={}", t.sim_cycle, t.n_ticks);
+          break;
+        }
+        case net::MsgType::kTimeAck:
+          msg += strformat(" board_tick={}",
+                           std::get<net::TimeAck>(m).board_tick);
+          break;
+        case net::MsgType::kShutdown:
+          break;
+      }
+    }
+  }
+  if (msg.empty()) {
+    msg = strformat("type={} size={} digest={}{}",
+                    static_cast<unsigned>(r.msg_type), r.payload_size,
+                    r.digest, r.truncated ? " (truncated)" : "");
+  }
+  return strformat("{} {} {} hw_cycle={} board_tick={} {}", r.seq,
+                   obs::to_string(r.port), obs::to_string(r.dir), r.hw_cycle,
+                   r.board_tick, msg);
+}
+
+int cmd_inspect(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::size_t limit = ~std::size_t{0};
+  std::string port_filter;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--limit" && i + 1 < args.size()) {
+      limit = std::stoul(args[++i]);
+    } else if (args[i] == "--port" && i + 1 < args.size()) {
+      port_filter = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  const obs::Recording rec = load_or_exit(args[0]);
+  std::printf("# side=%s frames=%zu\n", rec.meta.side.c_str(),
+              rec.frames.size());
+  for (const auto& [key, value] : rec.meta.tags) {
+    std::printf("# %s=%s\n", key.c_str(), value.c_str());
+  }
+  std::size_t shown = 0;
+  for (const obs::FrameRecord& r : rec.frames) {
+    if (!port_filter.empty() && obs::to_string(r.port) != port_filter) {
+      continue;
+    }
+    if (shown++ >= limit) break;
+    std::printf("%s\n", describe(r).c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  std::fputs(obs::recording_stats_text(load_or_exit(args[0])).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const obs::Recording a = load_or_exit(args[0]);
+  const obs::Recording b = load_or_exit(args[1]);
+  const auto divergence =
+      obs::diff_recordings(a, b, &net::message_field_diff);
+  if (!divergence.has_value()) {
+    std::printf("identical: %zu frames\n", a.frames.size());
+    return 0;
+  }
+  std::printf("%s\n", divergence->to_string().c_str());
+  return 1;
+}
+
+int cmd_to_chrome(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return usage();
+  const std::string json =
+      obs::recording_to_chrome_json(load_or_exit(args[0]));
+  if (args.size() == 2) {
+    std::ofstream out(args[1], std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "vhptrace: write failed: %s\n", args[1].c_str());
+      return 2;
+    }
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "inspect") return cmd_inspect(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "diff") return cmd_diff(args);
+  if (cmd == "to-chrome") return cmd_to_chrome(args);
+  return usage();
+}

@@ -1,0 +1,142 @@
+// Fabric scaling: the N-party virtual-tick barrier under growing board
+// counts (N = 1, 2, 4, 8).
+//
+// Each run builds an N-port router whose port-p packets are verified on
+// board p — per-node work is held constant while N grows, so wall time and
+// the fabric.barrier_wait_ns histogram isolate what the conservative
+// barrier itself costs as parties are added. N=1 degenerates to the paper's
+// two-party protocol and anchors the trajectory.
+//
+// Output: BENCH_fabric_scale.metrics.json — one row per N with wall time
+// and the merged metrics document (master hub + per-node hubs).
+#include "bench_util.hpp"
+
+#include "vhp/fabric/fabric.hpp"
+
+using namespace vhp;
+
+namespace {
+
+struct ScaleResult {
+  double wall_seconds = 0;
+  u64 cycles = 0;
+  u64 forwarded = 0;
+  u64 emitted = 0;
+  u64 barriers = 0;
+  u64 acks = 0;
+  double barrier_wait_mean_us = 0;
+  bool drained = false;
+  std::string metrics_json;
+};
+
+ScaleResult run_scale_point(std::size_t n_nodes, u64 t_sync,
+                            u64 packets_per_port, bool inproc) {
+  fabric::FabricConfigBuilder builder;
+  builder.t_sync(t_sync).watchdog(std::chrono::milliseconds{30000});
+  if (!inproc) builder.tcp();
+  for (std::size_t p = 0; p < n_nodes; ++p) {
+    builder.add_node(strformat("node{}", p));
+    builder.last_board().rtos.cycles_per_tick = 10;
+  }
+  fabric::Fabric fab{builder.build_or_throw()};
+
+  router::TestbenchConfig tb_cfg;
+  tb_cfg.router.n_ports = n_nodes;
+  tb_cfg.router.remote_checksum = true;
+  tb_cfg.router.buffer_depth = 4;
+  tb_cfg.packets_per_port = packets_per_port;
+  tb_cfg.gap_cycles = 4000;
+  tb_cfg.payload_bytes = 16;
+  std::vector<cosim::DriverRegistry*> registries;
+  for (std::size_t p = 0; p < n_nodes; ++p) {
+    registries.push_back(&fab.registry(p));
+  }
+  router::RouterTestbench tb{fab.kernel(), tb_cfg, registries};
+  for (std::size_t p = 0; p < n_nodes; ++p) {
+    fab.watch_interrupt(p, tb.router().irq(p), board::Board::kDeviceVector);
+  }
+  router::ChecksumAppConfig app_cfg;
+  app_cfg.cost_base = 20;
+  app_cfg.cost_per_byte = 1;
+  std::vector<std::unique_ptr<router::ChecksumApp>> apps;
+  for (std::size_t p = 0; p < n_nodes; ++p) {
+    apps.push_back(std::make_unique<router::ChecksumApp>(fab.board(p),
+                                                         app_cfg));
+  }
+
+  fab.start_boards();
+  constexpr u64 kMaxCycles = 400000;
+  constexpr u64 kChunk = 200;
+  const auto start = std::chrono::steady_clock::now();
+  u64 cycles = 0;
+  while (cycles < kMaxCycles && !tb.traffic_done()) {
+    if (!fab.run_cycles(kChunk).ok()) break;
+    cycles += kChunk;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  fab.finish();
+
+  ScaleResult r;
+  r.wall_seconds = std::chrono::duration<double>(end - start).count();
+  r.cycles = cycles;
+  r.forwarded = tb.router().stats().forwarded;
+  r.emitted = tb.total_emitted();
+  r.barriers = fab.coordinator().barriers();
+  r.acks = fab.coordinator().acks_received();
+  r.barrier_wait_mean_us =
+      fab.obs().metrics().histogram("fabric.barrier_wait_ns").mean_ns() / 1e3;
+  r.drained = tb.traffic_done();
+  r.metrics_json = fab.metrics_json();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "fabric scale: wall time and barrier wait vs board count",
+      "Section 5.3's virtual tick generalized to an N-party barrier");
+  const bool quick = bench::quick_mode(argc, argv);
+  bool inproc = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--inproc") inproc = true;
+  }
+  const u64 t_sync = 1000;
+  const u64 packets_per_port = quick ? 6 : 12;
+
+  std::printf("%6s %12s %10s %10s %14s %10s\n", "nodes", "wall_s",
+              "barriers", "acks", "wait_mean_us", "forwarded");
+  std::vector<bench::JsonRow> rows;
+  bool all_drained = true;
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    const ScaleResult r =
+        run_scale_point(n, t_sync, packets_per_port, inproc);
+    all_drained = all_drained && r.drained;
+    std::printf("%6zu %12.3f %10llu %10llu %14.1f %10llu%s\n", n,
+                r.wall_seconds, (unsigned long long)r.barriers,
+                (unsigned long long)r.acks, r.barrier_wait_mean_us,
+                (unsigned long long)r.forwarded,
+                r.drained ? "" : "  [NOT DRAINED]");
+    bench::JsonRow row;
+    row.params = strformat(
+        "\"nodes\":{},\"t_sync\":{},\"packets_per_port\":{},\"cycles\":{},"
+        "\"barriers\":{},\"acks\":{},\"barrier_wait_mean_us\":{},"
+        "\"forwarded\":{},\"emitted\":{},\"drained\":{}",
+        n, t_sync, packets_per_port, r.cycles, r.barriers, r.acks,
+        r.barrier_wait_mean_us, r.forwarded, r.emitted,
+        r.drained ? "true" : "false");
+    row.wall_seconds = r.wall_seconds;
+    row.metrics_json = r.metrics_json;
+    rows.push_back(std::move(row));
+  }
+
+  const std::string path = bench::json_output_path(
+      argc, argv, "BENCH_fabric_scale.metrics.json");
+  if (bench::write_bench_json(path, "fabric_scale", rows)) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "\nfailed to write %s\n", path.c_str());
+    return 2;
+  }
+  return all_drained ? 0 : 1;
+}

@@ -27,6 +27,10 @@ namespace vhp::board {
 
 struct BoardConfig {
   rtos::KernelConfig rtos{};
+  /// Log-line identity; empty means "board". Fabric nodes run N boards in
+  /// one process; naming each ("node0", ...) keeps their logs tellable
+  /// apart.
+  std::string name;
   /// Board CPU cycles granted per simulated HW clock cycle in a CLOCK_TICK.
   u64 cycles_per_sim_cycle = 1;
   /// Modeled driver overhead charged to the calling thread, in CPU cycles.
@@ -112,7 +116,7 @@ class Board {
 
   BoardConfig config_;
   net::CosimLink link_;
-  Logger log_{"board"};
+  Logger log_{config_.name.empty() ? std::string("board") : config_.name};
 
   // Declared before the counter references: init order matters.
   std::unique_ptr<obs::Hub> owned_hub_;

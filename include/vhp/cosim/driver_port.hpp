@@ -20,6 +20,8 @@
 #include "vhp/common/bytes.hpp"
 #include "vhp/common/status.hpp"
 #include "vhp/cosim/driver_codec.hpp"
+#include "vhp/net/channel.hpp"
+#include "vhp/net/message.hpp"
 #include "vhp/sim/event.hpp"
 #include "vhp/sim/kernel.hpp"
 
@@ -55,6 +57,15 @@ class DriverRegistry {
   u64 writes_ = 0;
   u64 reads_ = 0;
 };
+
+/// Dispatches one DATA-port message against `registry`: DATA_WRITE →
+/// deliver_write, DATA_READ_REQ → serve_read answered with a DATA_READ_RESP
+/// on `reply`; anything else is a protocol error. The one DATA-service
+/// routine shared by the two-party CosimKernel and the N-node fabric (each
+/// fabric node has its own registry, so identical device addresses across
+/// boards never collide).
+Status serve_data_message(DriverRegistry& registry, net::Channel& reply,
+                          const net::Message& msg);
 
 template <typename T>
 class DriverIn {

@@ -1,0 +1,255 @@
+// vhp::fabric — N-node co-simulation in one process (ISSUE 4 tentpole).
+//
+// One simulated-time-master HW kernel orchestrates N virtual boards, each on
+// its own host thread behind its own three-port link (inproc or TCP over
+// loopback). The paper's two-party virtual tick generalizes to an N-party
+// conservative barrier (SyncCoordinator): every node is granted quanta of
+// simulated time and the master advances only once all due nodes have
+// checked in, so adding boards never weakens the timing guarantee.
+//
+// Per-node isolation:
+//   * each node has its own DriverRegistry — identical device addresses on
+//     different boards address different devices;
+//   * each node has its own obs::Hub ("node0", ...) whose metrics merge
+//     into one document via obs::merged_metrics_json;
+//   * the master-side flight recorder stamps every frame with its node id,
+//     so one fabric recording diffs/replays per node (net::ReplayOptions).
+//
+// Thread/fiber ownership (see DESIGN.md §8): the master thread owns the
+// sim::Kernel and all HW-side link endpoints; each board's rtos::Kernel and
+// its fiber group live entirely on that board's host thread. No fiber is
+// ever touched from two host threads.
+//
+// A node may be declared `external`: the fabric creates and decorates its
+// link but spawns no board, handing the board-side endpoints to the caller.
+// That slot can host any party speaking the protocol — a unit test driving
+// raw channels, a model behind an FMI-style bridge — and is how the barrier
+// logic is exercised fiber-free under TSan.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vhp/board/board.hpp"
+#include "vhp/cosim/driver_port.hpp"
+#include "vhp/fabric/sync_coordinator.hpp"
+#include "vhp/net/channel.hpp"
+#include "vhp/obs/hub.hpp"
+#include "vhp/sim/kernel.hpp"
+#include "vhp/sim/signal.hpp"
+
+namespace vhp::fabric {
+
+enum class Transport { kInProc, kTcp };
+
+struct FabricNodeConfig {
+  /// Node identity: log tag, metrics namespace ("<name>." prefix in the
+  /// merged document), recording label. Empty gets "node<i>".
+  std::string name;
+  board::BoardConfig board{};
+  /// Per-node sync quantum; 0 uses FabricConfig::t_sync.
+  u64 t_sync = 0;
+  /// External party: the fabric creates the link and the barrier slot but
+  /// spawns no board; take_board_link() hands out the board-side endpoints.
+  bool external = false;
+};
+
+struct FabricConfig {
+  /// Default synchronization quantum in HW clock cycles (the paper's
+  /// T_sync), overridable per node.
+  u64 t_sync = 1000;
+  sim::SimTime clock_period = 2;
+  /// Poll each node's DATA port every this many cycles (as CosimConfig).
+  u64 data_poll_interval = 1;
+  Transport transport = Transport::kInProc;
+  /// Barrier straggler watchdog (SyncConfig::watchdog).
+  std::chrono::milliseconds watchdog{10000};
+  /// Send SHUTDOWN to every node on finish().
+  bool shutdown_on_finish = true;
+  /// Applied to the master hub and every node hub alike.
+  obs::ObsConfig obs{};
+  std::vector<FabricNodeConfig> nodes;
+
+  /// CosimConfig-style rules, per node: nonzero divisors, budgeted boards
+  /// (a free-running board cannot take part in a barrier), at least one
+  /// node.
+  [[nodiscard]] Status validate() const;
+};
+
+/// Fluent construction of a validated FabricConfig:
+///
+///   auto cfg = FabricConfigBuilder{}
+///                  .tcp()
+///                  .t_sync(1000)
+///                  .add_node("port0")
+///                  .add_node("port1", /*t_sync=*/250)
+///                  .build_or_throw();
+class FabricConfigBuilder {
+ public:
+  FabricConfigBuilder& transport(Transport kind) {
+    config_.transport = kind;
+    return *this;
+  }
+  FabricConfigBuilder& tcp() { return transport(Transport::kTcp); }
+  FabricConfigBuilder& inproc() { return transport(Transport::kInProc); }
+
+  FabricConfigBuilder& t_sync(u64 cycles) {
+    config_.t_sync = cycles;
+    return *this;
+  }
+  FabricConfigBuilder& clock_period(sim::SimTime period) {
+    config_.clock_period = period;
+    return *this;
+  }
+  FabricConfigBuilder& data_poll_interval(u64 cycles) {
+    config_.data_poll_interval = cycles;
+    return *this;
+  }
+  FabricConfigBuilder& watchdog(std::chrono::milliseconds bound) {
+    config_.watchdog = bound;
+    return *this;
+  }
+  FabricConfigBuilder& observability(bool on = true) {
+    config_.obs.enabled = on;
+    return *this;
+  }
+  /// Flight recorder on every link, payloads kept whole (replayable).
+  FabricConfigBuilder& record(bool on = true) {
+    config_.obs.record.enabled = on;
+    if (on) config_.obs.record.max_payload_bytes = 1u << 16;
+    return *this;
+  }
+
+  /// Appends a board node; `t_sync` 0 inherits the fabric default.
+  FabricConfigBuilder& add_node(std::string name = {}, u64 t_sync = 0);
+  /// Appends a board node with full board configuration.
+  FabricConfigBuilder& add_node(FabricNodeConfig node);
+  /// Appends an external (board-less) node — see FabricNodeConfig::external.
+  FabricConfigBuilder& add_external_node(std::string name = {},
+                                         u64 t_sync = 0);
+  /// Tweaks the most recently added node's board config in place.
+  [[nodiscard]] board::BoardConfig& last_board();
+
+  [[nodiscard]] Result<FabricConfig> build() const;
+  [[nodiscard]] FabricConfig build_or_throw() const;
+
+ private:
+  FabricConfig config_{};
+};
+
+class Fabric {
+ public:
+  /// Throws std::invalid_argument if `config.validate()` fails.
+  explicit Fabric(FabricConfig config);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+
+  /// The master simulation. Build HDL modules against kernel() and the
+  /// per-node registry(i) before start_boards()/run_cycles(). As with
+  /// CosimSession, everything built against the kernel must be destroyed
+  /// before the Fabric.
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] sim::Clock& clock() { return clock_; }
+
+  /// Node i's device address space (DATA traffic of node i's link consults
+  /// only this registry).
+  [[nodiscard]] cosim::DriverRegistry& registry(std::size_t node);
+
+  /// Node i's board (non-external nodes only). Configure apps and DSRs
+  /// before start_boards().
+  [[nodiscard]] board::Board& board(std::size_t node);
+
+  /// Board-side link of an external node; callable once per node. The
+  /// caller becomes that node's party: it must answer CLOCK_TICKs with
+  /// TIME_ACKs (or be reported by the straggler watchdog).
+  [[nodiscard]] net::CosimLink take_board_link(std::size_t node);
+
+  /// The master-side hub (fabric.* barrier metrics, per-link accounting,
+  /// the node-stamped flight recorder) and the per-node hubs.
+  [[nodiscard]] obs::Hub& obs() { return *hub_; }
+  [[nodiscard]] obs::Hub& node_obs(std::size_t node);
+
+  [[nodiscard]] SyncCoordinator& coordinator() { return *coordinator_; }
+
+  /// Registers `line` of the master model as node i's interrupt source.
+  void watch_interrupt(std::size_t node, sim::BoolSignal& line, u32 vector);
+
+  /// Boots every non-external node's board host thread.
+  void start_boards();
+
+  /// Gathers every node's initial TIME_ACK. Implied by the first
+  /// run_cycles(); call directly to bound the wait explicitly.
+  Status handshake();
+
+  /// Runs `cycles` HW clock cycles: per-node DATA service and interrupt
+  /// propagation every cycle, the N-party barrier whenever any node's grant
+  /// expires. Fails fast (straggler watchdog, transport error) with the
+  /// offending node named in the Status.
+  Status run_cycles(u64 cycles);
+
+  [[nodiscard]] u64 cycle() const { return cycle_; }
+
+  /// Sends SHUTDOWN to every node and joins the board threads.
+  void finish();
+
+  /// One metrics document spanning the master hub (unprefixed) and every
+  /// node hub ("<name>." prefixes) — obs::merged_metrics_json.
+  [[nodiscard]] std::string metrics_json();
+  Status write_metrics_json(const std::string& path);
+
+  /// Writes the master-side recorder (all nodes' links, node-stamped) as
+  /// "<prefix>.hw.vhprec" and each node's board-side recorder as
+  /// "<prefix>.<name>.board.vhprec". No-op Status unless obs.record is on.
+  Status write_recordings(const std::string& prefix,
+                          const std::map<std::string, std::string>& tags = {});
+
+ private:
+  struct IntWatch {
+    sim::BoolSignal* line;
+    u32 vector;
+    bool prev = false;
+  };
+
+  struct Node {
+    FabricNodeConfig config;  // name resolved
+    net::CosimLink hw_link;
+    std::optional<net::CosimLink> board_link;  // external, until taken
+    std::unique_ptr<obs::Hub> hub;
+    std::unique_ptr<cosim::DriverRegistry> registry;
+    std::unique_ptr<board::BoardHost> host;  // null for external nodes
+    std::vector<IntWatch> watches;
+    obs::Counter* data_writes = nullptr;
+    obs::Counter* data_reads = nullptr;
+    obs::Counter* interrupts_sent = nullptr;
+  };
+
+  /// Drains every node's DATA port once.
+  Status service_data_ports();
+  Status sample_interrupts();
+  [[nodiscard]] Node& node_at(std::size_t node);
+
+  FabricConfig config_;
+  Logger log_{"fabric"};
+
+  std::unique_ptr<obs::Hub> hub_;  // master side
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  sim::Kernel kernel_;
+  sim::Clock clock_;
+  std::unique_ptr<SyncCoordinator> coordinator_;
+
+  u64 cycle_ = 0;
+  bool started_ = false;
+  bool handshaken_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace vhp::fabric

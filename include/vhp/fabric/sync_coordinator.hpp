@@ -1,0 +1,133 @@
+// N-party generalization of the paper's virtual tick (Section 5.3).
+//
+// The two-party protocol grants the board T_sync cycles with one CLOCK_TICK
+// and blocks for the TIME_ACK. With N boards the simulated-time master runs
+// the same exchange as a conservative barrier: scatter one CLOCK_TICK per
+// due node, gather the N TIME_ACKs, and advance simulated time only once
+// every party has checked in. No node ever observes simulated time beyond
+// its last grant, so the composition is deadlock-free and deterministic for
+// deterministic parties — the same argument as the two-party proof, applied
+// per link.
+//
+// Nodes may sync at different rates (per-node T_sync override): a barrier at
+// cycle C ticks exactly the subset due at C, granting each the cycles
+// elapsed since its previous grant. The master never runs past the earliest
+// pending due-cycle, which keeps the conservative bound tight per node
+// instead of forcing the fastest cadence on everyone.
+//
+// The coordinator owns no transport: it is handed one CLOCK channel per node
+// (the fabric's, or a unit test's raw inproc pairs — the barrier logic is
+// fiber-free and runs under TSan).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vhp/common/log.hpp"
+#include "vhp/common/status.hpp"
+#include "vhp/net/channel.hpp"
+#include "vhp/obs/hub.hpp"
+
+namespace vhp::fabric {
+
+struct SyncConfig {
+  /// Default synchronization quantum, in HW clock cycles.
+  u64 t_sync = 1000;
+  /// Per-node overrides, indexed by node id; 0 (or a missing entry) means
+  /// the default. A slow peripheral board can sync coarsely while a
+  /// latency-critical one stays fine-grained.
+  std::vector<u64> t_sync_overrides;
+  /// Wall-clock bound on one gather. A board that never acks trips this and
+  /// the barrier reports *which* nodes were still pending instead of
+  /// hanging the whole fabric. Zero disables the watchdog.
+  std::chrono::milliseconds watchdog{10000};
+
+  /// Quantum of `node` after overrides.
+  [[nodiscard]] u64 quantum(std::size_t node) const {
+    if (node < t_sync_overrides.size() && t_sync_overrides[node] != 0) {
+      return t_sync_overrides[node];
+    }
+    return t_sync;
+  }
+
+  /// Rejects a zero default quantum or an all-zero override set to nothing.
+  [[nodiscard]] Status validate(std::size_t n_nodes) const;
+};
+
+class SyncCoordinator {
+ public:
+  /// `clocks[i]` is the master-side CLOCK channel of node i (borrowed; the
+  /// caller keeps the links alive). `names[i]` labels node i in errors and
+  /// logs — pass {} for "node0", "node1", ... `hub` may be nullptr
+  /// (standalone unit tests); metrics then go to a private registry.
+  SyncCoordinator(SyncConfig config, std::vector<net::Channel*> clocks,
+                  std::vector<std::string> names = {},
+                  obs::Hub* hub = nullptr);
+
+  SyncCoordinator(const SyncCoordinator&) = delete;
+  SyncCoordinator& operator=(const SyncCoordinator&) = delete;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const SyncConfig& config() const { return config_; }
+
+  /// Gathers every node's initial "frozen" TIME_ACK (the board reports it
+  /// on boot). Must complete before the first barrier; the watchdog applies
+  /// and names the nodes that never reported.
+  Status handshake();
+
+  /// Earliest cycle at which any node's grant expires. The master must not
+  /// simulate past it before running the barrier there.
+  [[nodiscard]] u64 next_due() const;
+
+  /// True when at least one node's grant expires at `cycle`.
+  [[nodiscard]] bool due(u64 cycle) const { return next_due() == cycle; }
+
+  /// The barrier: scatters CLOCK_TICK(cycle, elapsed) to every node due at
+  /// `cycle`, then gathers their TIME_ACKs. `service` is invoked while
+  /// waiting (the fabric drains all DATA ports there, preserving the
+  /// two-party deadlock-freedom argument); pass nullptr for none. On
+  /// watchdog expiry returns kDeadlineExceeded naming the pending nodes.
+  Status run_barrier(u64 cycle, const std::function<Status()>& service = {});
+
+  /// Sends SHUTDOWN on every node's CLOCK channel (best effort).
+  void shutdown();
+
+  /// Barriers completed / ticks scattered / acks gathered.
+  [[nodiscard]] u64 barriers() const { return barriers_.value(); }
+  [[nodiscard]] u64 ticks_sent() const { return ticks_sent_.value(); }
+  [[nodiscard]] u64 acks_received() const { return acks_received_.value(); }
+
+ private:
+  struct Node {
+    net::Channel* clock;
+    std::string name;
+    u64 quantum;
+    u64 last_granted = 0;  // cycle of the previous grant
+    u64 next_due;          // last_granted + quantum
+    obs::Counter& acks;    // fabric.<name>.acks
+  };
+
+  /// Waits for one TIME_ACK from each node in `pending` (indices into
+  /// nodes_), interleaving `service`, under the watchdog.
+  Status gather(std::vector<std::size_t> pending,
+                const std::function<Status()>& service);
+
+  SyncConfig config_;
+  Status config_status_;
+  Logger log_{"fabric"};
+
+  std::unique_ptr<obs::Hub> owned_hub_;
+  obs::Hub* hub_;
+  obs::Counter& barriers_;
+  obs::Counter& ticks_sent_;
+  obs::Counter& acks_received_;
+  obs::LatencyHistogram& barrier_wait_ns_;
+
+  std::vector<Node> nodes_;
+  bool handshaken_ = false;
+};
+
+}  // namespace vhp::fabric

@@ -1,0 +1,24 @@
+// Link fan-out for the co-simulation fabric: N independent three-port links
+// between one HW process and N boards. Each node gets its own LinkPair —
+// there is no shared medium; the fabric's SyncCoordinator provides the only
+// coupling between nodes (the N-party virtual-tick barrier).
+#pragma once
+
+#include <vector>
+
+#include "vhp/net/channel.hpp"
+
+namespace vhp::net {
+
+/// N in-process links (the unit-test / single-process transport).
+[[nodiscard]] std::vector<LinkPair> make_inproc_link_fanout(
+    std::size_t n, std::size_t capacity = 1024);
+
+/// N TCP loopback links, each with its own listener + ephemeral port
+/// triple — the paper's board<->host medium, one socket set per board.
+/// Both ends are returned; a multi-process fabric would instead publish
+/// each listener's ports and keep only the hw side.
+[[nodiscard]] Result<std::vector<LinkPair>> make_tcp_link_fanout(
+    std::size_t n);
+
+}  // namespace vhp::net

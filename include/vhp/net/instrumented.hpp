@@ -25,15 +25,17 @@ namespace vhp::net {
                                         const std::string& side);
 
 /// Flight-recorder decorator: every frame sent or received on the channel is
-/// appended to `recorder`'s ring as `port` traffic. When the recorder is
-/// disabled this returns `inner` unchanged — no decorator hop, same pointer
-/// (the cheap-enough-to-leave-on contract from obs/flight_recorder.hpp).
+/// appended to `recorder`'s ring as `port` traffic on fabric node `node`
+/// (0 for the classic two-party link). When the recorder is disabled this
+/// returns `inner` unchanged — no decorator hop, same pointer (the
+/// cheap-enough-to-leave-on contract from obs/flight_recorder.hpp).
 [[nodiscard]] ChannelPtr record_channel(ChannelPtr inner,
                                         obs::FlightRecorder& recorder,
-                                        obs::LinkPort port);
+                                        obs::LinkPort port, u32 node = 0);
 
 /// Wraps all three ports of one side's link with record_channel.
 [[nodiscard]] CosimLink record_link(CosimLink link,
-                                    obs::FlightRecorder& recorder);
+                                    obs::FlightRecorder& recorder,
+                                    u32 node = 0);
 
 }  // namespace vhp::net

@@ -39,6 +39,10 @@ struct ReplayOptions {
   std::function<u64()> time_source;
   /// Diff provider for divergence reports.
   obs::FrameDiffFn diff = &message_field_diff;
+  /// Fabric recordings interleave N nodes' links in one global sequence;
+  /// open() keeps only this node's frames, so one recording replays any
+  /// single node's link. 0 matches classic two-party recordings unchanged.
+  u32 node = 0;
 };
 
 /// One replay of one recording. Keep the session alive for as long as the

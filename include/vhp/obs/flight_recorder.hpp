@@ -45,6 +45,11 @@ struct FrameRecord {
   u64 seq = 0;        // per-side monotone sequence, global across ports
   LinkPort port = LinkPort::kData;
   LinkDir dir = LinkDir::kTx;
+  /// Fabric node the frame's link belongs to. 0 for the classic two-party
+  /// link, so single-node recordings stay byte-compatible on disk (the
+  /// binary writer only switches to the node-carrying format when a
+  /// nonzero node appears).
+  u32 node = 0;
   u8 msg_type = 0;    // first body byte (net::MsgType), 0 for empty frames
   bool truncated = false;
   u64 hw_cycle = 0;   // HW virtual time at record (kernel side)
@@ -85,8 +90,11 @@ class FlightRecorder {
   void set_hw_time_source(std::function<u64()> source);
   void set_board_time_source(std::function<u64()> source);
 
-  /// Appends one frame to the ring (no-op when disabled).
-  void record(LinkPort port, LinkDir dir, std::span<const u8> frame);
+  /// Appends one frame to the ring (no-op when disabled). `node` labels the
+  /// fabric node whose link carried the frame; the classic two-party link
+  /// records everything as node 0.
+  void record(LinkPort port, LinkDir dir, std::span<const u8> frame,
+              u32 node = 0);
 
   /// Frames ever recorded / evicted by ring wrap-around.
   [[nodiscard]] u64 recorded() const;

@@ -11,7 +11,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "vhp/common/status.hpp"
@@ -60,8 +62,18 @@ class Hub {
   void add_collector(std::function<void(MetricsRegistry&)> collector);
 
   /// Runs the collectors, then serializes every instrument to JSON.
-  [[nodiscard]] std::string metrics_json();
+  /// `node_prefix` is prepended to every key ("node0." makes
+  /// "board.acks_sent" into "node0.board.acks_sent"), so the per-node hubs
+  /// of a fabric merge into one document without key collisions — see
+  /// merged_metrics_json().
+  [[nodiscard]] std::string metrics_json(std::string_view node_prefix = {});
   Status write_metrics_json(const std::string& path);
+
+  /// Runs the collectors and refreshes the lazily-computed instruments
+  /// (profiler buckets, recorder gauges, tracer drop counts) without
+  /// serializing. merged_metrics_json() calls this per hub before emitting
+  /// the combined document.
+  void collect();
 
   /// Serializes the tracer buffer as Chrome trace_event JSON.
   [[nodiscard]] std::string trace_json() const {
@@ -82,5 +94,11 @@ class Hub {
   std::mutex collectors_mu_;
   std::vector<std::function<void(MetricsRegistry&)>> collectors_;
 };
+
+/// One metrics document spanning several hubs: each entry's prefix is
+/// prepended to its hub's keys ("" for the lead hub, "node0."/"node1."/...
+/// for the per-node hubs of a fabric). Runs every hub's collectors first.
+[[nodiscard]] std::string merged_metrics_json(
+    std::span<const std::pair<std::string, Hub*>> hubs);
 
 }  // namespace vhp::obs

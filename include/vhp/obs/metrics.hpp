@@ -116,8 +116,19 @@ class MetricsRegistry {
 
   /// Snapshot of every instrument as one JSON object:
   ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
-  /// Histograms list only their non-empty buckets.
-  [[nodiscard]] std::string to_json() const;
+  /// Histograms list only their non-empty buckets. `key_prefix` is prepended
+  /// to every instrument name ("node0." turns "board.acks_sent" into
+  /// "node0.board.acks_sent"), so several registries can merge into one
+  /// document without key collisions.
+  [[nodiscard]] std::string to_json(std::string_view key_prefix = {}) const;
+
+  /// Section-emitter backing to_json(): appends this registry's instruments
+  /// (prefixed) to the three JSON object bodies. `first_*` track whether a
+  /// comma is due, so successive registries can share one document.
+  void append_json_sections(std::string& counters, std::string& gauges,
+                            std::string& histograms, std::string_view prefix,
+                            bool& first_counter, bool& first_gauge,
+                            bool& first_histogram) const;
 
   /// Visitors (sorted by name); used by the JSON dump and the tests.
   void for_each_counter(

@@ -57,11 +57,12 @@ using FrameDiffFn = std::string (*)(const FrameRecord& expected,
                                     const FrameRecord& actual);
 
 /// The first mismatching frame between a reference recording and a live
-/// stream: sequence number, port, virtual time and a field-level diff.
+/// stream: sequence number, node, port, virtual time and a field-level diff.
 struct Divergence {
   u64 seq = 0;          // reference-side sequence of the mismatch
   LinkPort port = LinkPort::kData;
   LinkDir dir = LinkDir::kTx;
+  u32 node = 0;         // fabric node of the mismatching stream
   u64 hw_cycle = 0;     // reference virtual time at the mismatch
   u64 board_tick = 0;
   std::string reason;   // what differs (type / size / field / extra frame)
@@ -76,16 +77,19 @@ struct Divergence {
                                          FrameDiffFn diff = nullptr);
 
 /// Feeds a live side's frames, in emission order, against the reference
-/// recording of the same side and direction-expects. Per-(port,dir) FIFO
-/// order; the first mismatch is latched and everything after it ignored.
+/// recording of the same side and direction-expects. Per-(node,port,dir)
+/// FIFO order — fabric recordings interleave N nodes' links in one global
+/// sequence and stay diffable per node; the first mismatch is latched and
+/// everything after it ignored.
 class DivergenceChecker {
  public:
   explicit DivergenceChecker(const Recording& reference,
                              FrameDiffFn diff = nullptr);
 
-  /// Checks the live side's next frame on `port`/`dir`. Returns false once
-  /// diverged (this call or earlier).
-  bool check(LinkPort port, LinkDir dir, std::span<const u8> frame);
+  /// Checks the live side's next frame on `node`'s `port`/`dir`. Returns
+  /// false once diverged (this call or earlier).
+  bool check(LinkPort port, LinkDir dir, std::span<const u8> frame,
+             u32 node = 0);
 
   /// Record-level variant for comparing two recordings: `live` carries its
   /// own full-frame size and digest, so truncated records on either side
@@ -99,14 +103,17 @@ class DivergenceChecker {
   [[nodiscard]] u64 matched() const { return matched_; }
 
  private:
-  static constexpr std::size_t kQueues = 6;  // 3 ports x 2 directions
-  static std::size_t queue_index(LinkPort port, LinkDir dir) {
-    return static_cast<std::size_t>(port) * 2 + static_cast<std::size_t>(dir);
-  }
+  static constexpr std::size_t kQueuesPerNode = 6;  // 3 ports x 2 directions
+  /// Queue storage grows with the highest node id seen (fabrics are small).
+  std::size_t queue_index(u32 node, LinkPort port, LinkDir dir);
+
+  struct Queue {
+    std::vector<FrameRecord> frames;
+    std::size_t next = 0;
+  };
 
   FrameDiffFn diff_;
-  std::vector<FrameRecord> queues_[kQueues];
-  std::size_t next_[kQueues] = {};
+  std::vector<Queue> queues_;
   std::optional<Divergence> divergence_;
   u64 matched_ = 0;
 };

@@ -60,6 +60,15 @@ class RouterModule : public sim::Module {
   RouterModule(sim::Kernel& kernel, RouterConfig config,
                cosim::DriverRegistry* registry = nullptr);
 
+  /// Fabric variant: one remote verifier per registry, each with its own
+  /// driver-port pair and interrupt line at the SAME device addresses —
+  /// per-node registries keep them apart. A packet arriving on input port p
+  /// is verified by verifier p % registries.size() (the router_fabric case
+  /// study maps one board per router port). One registry behaves exactly
+  /// like the two-party constructor.
+  RouterModule(sim::Kernel& kernel, RouterConfig config,
+               const std::vector<cosim::DriverRegistry*>& registries);
+
   /// Feeds a packet into input port `port`; false (and a drop count) when
   /// the buffer is full. Generators call this.
   bool offer(std::size_t port, Packet packet);
@@ -72,8 +81,18 @@ class RouterModule : public sim::Module {
   }
 
   /// Device interrupt line (remote mode); wire to
-  /// CosimKernel::watch_interrupt.
+  /// CosimKernel::watch_interrupt. With several verifiers this is
+  /// verifier 0's line.
   [[nodiscard]] sim::BoolSignal& irq() { return irq_; }
+
+  /// Verifier v's interrupt line (remote mode; wire each to its node via
+  /// Fabric::watch_interrupt).
+  [[nodiscard]] sim::BoolSignal& irq(std::size_t verifier) {
+    return *verifiers_[verifier].irq;
+  }
+  [[nodiscard]] std::size_t verifier_count() const {
+    return verifiers_.size();
+  }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const RouterConfig& config() const { return config_; }
@@ -82,17 +101,25 @@ class RouterModule : public sim::Module {
   [[nodiscard]] bool drained() const;
 
  private:
+  /// One remote checksum endpoint: driver-port pair + interrupt line.
+  struct Verifier {
+    sim::BoolSignal* irq;  // irq_ for verifier 0, owned lines beyond
+    std::unique_ptr<cosim::DriverOut<Bytes>> packet_out;
+    std::unique_ptr<cosim::DriverIn<u32>> verdict_in;
+  };
+
   void main_loop();
   /// nullopt = the board never answered within the verdict timeout.
-  [[nodiscard]] std::optional<bool> verify_remote(const Packet& packet);
+  [[nodiscard]] std::optional<bool> verify_remote(const Packet& packet,
+                                                  std::size_t in_port);
   [[nodiscard]] std::size_t route_of(u8 dst) const;
 
   RouterConfig config_;
   std::vector<std::unique_ptr<sim::Fifo<Packet>>> inputs_;
   std::vector<std::unique_ptr<sim::Fifo<Packet>>> outputs_;
   sim::BoolSignal irq_;
-  std::unique_ptr<cosim::DriverOut<Bytes>> packet_out_;
-  std::unique_ptr<cosim::DriverIn<u32>> verdict_in_;
+  std::vector<std::unique_ptr<sim::BoolSignal>> extra_irqs_;
+  std::vector<Verifier> verifiers_;
   Stats stats_;
 };
 

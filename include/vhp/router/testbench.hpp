@@ -27,6 +27,12 @@ class RouterTestbench {
   RouterTestbench(sim::Kernel& kernel, TestbenchConfig config,
                   cosim::DriverRegistry* registry = nullptr);
 
+  /// Fabric variant: one remote verifier per registry (see the matching
+  /// RouterModule constructor) — the router_fabric case study passes one
+  /// per-node registry per router port.
+  RouterTestbench(sim::Kernel& kernel, TestbenchConfig config,
+                  const std::vector<cosim::DriverRegistry*>& registries);
+
   [[nodiscard]] RouterModule& router() { return *router_; }
   [[nodiscard]] const TestbenchConfig& config() const { return config_; }
 

@@ -18,4 +18,13 @@ for preset in default asan tsan; do
   ctest --preset "$preset" "$@"
 done
 
+# Fabric gate: the N-node barrier suites on their own, loudly. The full
+# fabric set (-L fabric, matching "fabric" and "fabric-tsan") runs on the
+# release build; the fiber-free half re-runs under ThreadSanitizer (the tsan
+# preset's "tsan" filter intersected with -L fabric-tsan).
+echo "==== [fabric] release gate ===="
+ctest --preset default -L fabric "$@"
+echo "==== [fabric] tsan gate ===="
+ctest --preset tsan -L fabric-tsan "$@"
+
 echo "All presets passed."

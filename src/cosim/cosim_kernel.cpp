@@ -88,23 +88,14 @@ Status CosimKernel::handle_data_msg(const net::Message& msg) {
       hub_->tracer().instant("cosim.data_write", "cosim", wr->address,
                              "address");
     }
-    return registry_.deliver_write(wr->address, wr->data);
-  }
-  if (const auto* rd = std::get_if<net::DataReadReq>(&msg)) {
+  } else if (const auto* rd = std::get_if<net::DataReadReq>(&msg)) {
     data_reads_.inc();
     if (hub_->tracer().enabled()) {
       hub_->tracer().instant("cosim.data_read", "cosim", rd->address,
                              "address");
     }
-    auto data = registry_.serve_read(rd->address, rd->nbytes);
-    if (!data.ok()) return data.status();
-    return net::send_msg(*link_.data,
-                         net::DataReadResp{rd->address,
-                                           std::move(data).value()});
   }
-  return Status{StatusCode::kInvalidArgument,
-                strformat("unexpected {} on DATA port",
-                          net::to_string(net::type_of(msg)))};
+  return serve_data_message(registry_, *link_.data, msg);
 }
 
 Status CosimKernel::sample_interrupts() {

@@ -36,4 +36,20 @@ Result<Bytes> DriverRegistry::serve_read(u32 address, u32 max_bytes) {
   return data;
 }
 
+Status serve_data_message(DriverRegistry& registry, net::Channel& reply,
+                          const net::Message& msg) {
+  if (const auto* wr = std::get_if<net::DataWrite>(&msg)) {
+    return registry.deliver_write(wr->address, wr->data);
+  }
+  if (const auto* rd = std::get_if<net::DataReadReq>(&msg)) {
+    auto data = registry.serve_read(rd->address, rd->nbytes);
+    if (!data.ok()) return data.status();
+    return net::send_msg(
+        reply, net::DataReadResp{rd->address, std::move(data).value()});
+  }
+  return Status{StatusCode::kInvalidArgument,
+                strformat("unexpected {} on DATA port",
+                          net::to_string(net::type_of(msg)))};
+}
+
 }  // namespace vhp::cosim

@@ -1,0 +1,393 @@
+#include "vhp/fabric/fabric.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "vhp/common/format.hpp"
+#include "vhp/net/fanout.hpp"
+#include "vhp/net/instrumented.hpp"
+#include "vhp/obs/recording.hpp"
+
+namespace vhp::fabric {
+
+namespace {
+
+obs::Recording snapshot_recording(obs::FlightRecorder& recorder,
+                                  std::map<std::string, std::string> tags) {
+  obs::Recording rec;
+  rec.meta.side = recorder.side();
+  rec.meta.tags = std::move(tags);
+  rec.frames = recorder.snapshot();
+  return rec;
+}
+
+}  // namespace
+
+Status FabricConfig::validate() const {
+  if (nodes.empty()) {
+    return Status{StatusCode::kInvalidArgument,
+                  "FabricConfig: at least one node required"};
+  }
+  if (clock_period == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "FabricConfig: clock_period must be > 0"};
+  }
+  if (data_poll_interval == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "FabricConfig: data_poll_interval must be > 0"};
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const FabricNodeConfig& node = nodes[i];
+    const u64 quantum = node.t_sync != 0 ? node.t_sync : t_sync;
+    if (quantum == 0) {
+      return Status{StatusCode::kInvalidArgument,
+                    strformat("FabricConfig: node {} t_sync is 0", i)};
+    }
+    if (node.external) continue;
+    if (node.board.free_running) {
+      return Status{
+          StatusCode::kInvalidArgument,
+          strformat("FabricConfig: node {} is free-running; a fabric node "
+                    "must be budgeted to take part in the barrier",
+                    i)};
+    }
+    if (node.board.rtos.cycles_per_tick == 0 ||
+        node.board.rtos.timeslice_ticks == 0 ||
+        node.board.cycles_per_sim_cycle == 0) {
+      return Status{
+          StatusCode::kInvalidArgument,
+          strformat("FabricConfig: node {} has a zero RTOS timing divisor",
+                    i)};
+    }
+  }
+  return Status::Ok();
+}
+
+FabricConfigBuilder& FabricConfigBuilder::add_node(std::string name,
+                                                   u64 t_sync) {
+  FabricNodeConfig node;
+  node.name = std::move(name);
+  node.t_sync = t_sync;
+  config_.nodes.push_back(std::move(node));
+  return *this;
+}
+
+FabricConfigBuilder& FabricConfigBuilder::add_node(FabricNodeConfig node) {
+  config_.nodes.push_back(std::move(node));
+  return *this;
+}
+
+FabricConfigBuilder& FabricConfigBuilder::add_external_node(std::string name,
+                                                            u64 t_sync) {
+  FabricNodeConfig node;
+  node.name = std::move(name);
+  node.t_sync = t_sync;
+  node.external = true;
+  config_.nodes.push_back(std::move(node));
+  return *this;
+}
+
+board::BoardConfig& FabricConfigBuilder::last_board() {
+  if (config_.nodes.empty()) {
+    throw std::logic_error("FabricConfigBuilder: last_board() before any "
+                           "add_node()");
+  }
+  return config_.nodes.back().board;
+}
+
+Result<FabricConfig> FabricConfigBuilder::build() const {
+  Status s = config_.validate();
+  if (!s.ok()) return s;
+  return config_;
+}
+
+FabricConfig FabricConfigBuilder::build_or_throw() const {
+  Status s = config_.validate();
+  if (!s.ok()) throw std::invalid_argument(s.to_string());
+  return config_;
+}
+
+Fabric::Fabric(FabricConfig config)
+    : config_(std::move(config)),
+      hub_(std::make_unique<obs::Hub>(config_.obs)),
+      kernel_(),
+      clock_(kernel_, "clk",
+             config_.clock_period == 0 ? sim::SimTime{1}
+                                       : config_.clock_period) {
+  Status valid = config_.validate();
+  if (!valid.ok()) throw std::invalid_argument(valid.to_string());
+
+  const std::size_t n = config_.nodes.size();
+  std::vector<net::LinkPair> links;
+  if (config_.transport == Transport::kInProc) {
+    links = net::make_inproc_link_fanout(n);
+  } else {
+    auto fanout = net::make_tcp_link_fanout(n);
+    if (!fanout.ok()) {
+      throw std::runtime_error("fabric TCP fan-out failed: " +
+                               fanout.status().to_string());
+    }
+    links = std::move(fanout).value();
+  }
+
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto node = std::make_unique<Node>();
+    node->config = config_.nodes[i];
+    if (node->config.name.empty()) node->config.name = strformat("node{}", i);
+    const std::string& name = node->config.name;
+
+    node->hub = std::make_unique<obs::Hub>(config_.obs);
+    node->registry = std::make_unique<cosim::DriverRegistry>();
+
+    net::CosimLink hw_side = std::move(links[i].hw);
+    net::CosimLink board_side = std::move(links[i].board);
+    if (hub_->enabled()) {
+      hw_side = net::instrument_link(std::move(hw_side), *hub_,
+                                     "hw." + name);
+    }
+    if (node->hub->enabled()) {
+      board_side = net::instrument_link(std::move(board_side), *node->hub,
+                                        "board");
+    }
+    // The master records every node's link into ONE ring, each frame
+    // stamped with its node id — the merged recording diffs and replays
+    // per node. Each board records its own side into its node hub.
+    const u32 node_id = static_cast<u32>(i);
+    hw_side =
+        net::record_link(std::move(hw_side), hub_->hw_recorder(), node_id);
+    board_side = net::record_link(std::move(board_side),
+                                  node->hub->board_recorder(), node_id);
+    node->hw_link = std::move(hw_side);
+
+    node->data_writes =
+        &hub_->metrics().counter("fabric." + name + ".data_writes");
+    node->data_reads =
+        &hub_->metrics().counter("fabric." + name + ".data_reads");
+    node->interrupts_sent =
+        &hub_->metrics().counter("fabric." + name + ".interrupts_sent");
+
+    if (node->config.external) {
+      node->board_link = std::move(board_side);
+    } else {
+      board::BoardConfig board_config = node->config.board;
+      if (board_config.name.empty()) board_config.name = name;
+      node->host = std::make_unique<board::BoardHost>(
+          board_config, std::move(board_side), node->hub.get());
+      node->hub->board_recorder().set_board_time_source(
+          [board = &node->host->board()] {
+            return board->kernel().tick_count().value();
+          });
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  hub_->hw_recorder().set_hw_time_source([this] { return cycle_; });
+  hub_->metrics().gauge("fabric.nodes").set(static_cast<i64>(n));
+
+  SyncConfig sync;
+  sync.t_sync = config_.t_sync;
+  sync.watchdog = config_.watchdog;
+  sync.t_sync_overrides.reserve(n);
+  std::vector<net::Channel*> clocks;
+  std::vector<std::string> names;
+  clocks.reserve(n);
+  names.reserve(n);
+  for (const auto& node : nodes_) {
+    sync.t_sync_overrides.push_back(node->config.t_sync);
+    clocks.push_back(node->hw_link.clock.get());
+    names.push_back(node->config.name);
+  }
+  coordinator_ = std::make_unique<SyncCoordinator>(
+      std::move(sync), std::move(clocks), std::move(names), hub_.get());
+}
+
+Fabric::~Fabric() { finish(); }
+
+Fabric::Node& Fabric::node_at(std::size_t node) {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range(
+        strformat("fabric: node {} of {}", node, nodes_.size()));
+  }
+  return *nodes_[node];
+}
+
+cosim::DriverRegistry& Fabric::registry(std::size_t node) {
+  return *node_at(node).registry;
+}
+
+board::Board& Fabric::board(std::size_t node) {
+  Node& n = node_at(node);
+  if (!n.host) {
+    throw std::logic_error(
+        strformat("fabric: node {} ({}) is external, it has no board", node,
+                  n.config.name));
+  }
+  return n.host->board();
+}
+
+net::CosimLink Fabric::take_board_link(std::size_t node) {
+  Node& n = node_at(node);
+  if (!n.config.external) {
+    throw std::logic_error(
+        strformat("fabric: node {} ({}) is not external", node,
+                  n.config.name));
+  }
+  if (!n.board_link.has_value()) {
+    throw std::logic_error(
+        strformat("fabric: board link of node {} already taken", node));
+  }
+  net::CosimLink link = std::move(*n.board_link);
+  n.board_link.reset();
+  return link;
+}
+
+obs::Hub& Fabric::node_obs(std::size_t node) { return *node_at(node).hub; }
+
+void Fabric::watch_interrupt(std::size_t node, sim::BoolSignal& line,
+                             u32 vector) {
+  node_at(node).watches.push_back(IntWatch{&line, vector, line.read()});
+}
+
+void Fabric::start_boards() {
+  if (started_) return;
+  started_ = true;
+  for (auto& node : nodes_) {
+    if (node->host) node->host->start();
+  }
+}
+
+Status Fabric::handshake() {
+  if (handshaken_) return Status::Ok();
+  Status s = coordinator_->handshake();
+  if (!s.ok()) return s;
+  handshaken_ = true;
+  return Status::Ok();
+}
+
+Status Fabric::service_data_ports() {
+  for (auto& node : nodes_) {
+    for (;;) {
+      auto msg = net::try_recv_msg(*node->hw_link.data);
+      if (!msg.ok()) {
+        return Status{msg.status().code(),
+                      strformat("fabric: DATA channel of {} failed: {}",
+                                node->config.name, msg.status().message())};
+      }
+      if (!msg.value().has_value()) break;
+      if (std::holds_alternative<net::DataWrite>(*msg.value())) {
+        node->data_writes->inc();
+      } else if (std::holds_alternative<net::DataReadReq>(*msg.value())) {
+        node->data_reads->inc();
+      }
+      Status s = cosim::serve_data_message(*node->registry,
+                                           *node->hw_link.data, *msg.value());
+      if (!s.ok()) {
+        return Status{s.code(), strformat("fabric: node {}: {}",
+                                          node->config.name, s.message())};
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Fabric::sample_interrupts() {
+  for (auto& node : nodes_) {
+    for (IntWatch& watch : node->watches) {
+      const bool level = watch.line->read();
+      if (level && !watch.prev) {
+        node->interrupts_sent->inc();
+        Status s = net::send_msg(*node->hw_link.intr,
+                                 net::IntRaise{watch.vector});
+        if (!s.ok()) {
+          return Status{s.code(),
+                        strformat("fabric: INT_RAISE to {} failed: {}",
+                                  node->config.name, s.message())};
+        }
+      }
+      watch.prev = level;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Fabric::run_cycles(u64 cycles) {
+  Status s = handshake();
+  if (!s.ok()) return s;
+  for (u64 i = 0; i < cycles; ++i) {
+    if (config_.data_poll_interval <= 1 ||
+        cycle_ % config_.data_poll_interval == 0) {
+      s = service_data_ports();
+      if (!s.ok()) return s;
+    }
+    kernel_.run(config_.clock_period);  // one posedge + negedge
+    ++cycle_;
+    s = sample_interrupts();
+    if (!s.ok()) return s;
+    if (coordinator_->due(cycle_)) {
+      s = coordinator_->run_barrier(
+          cycle_, [this] { return service_data_ports(); });
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+void Fabric::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (config_.shutdown_on_finish) coordinator_->shutdown();
+  for (auto& node : nodes_) {
+    if (node->host) node->host->join();
+  }
+}
+
+std::string Fabric::metrics_json() {
+  std::vector<std::pair<std::string, obs::Hub*>> hubs;
+  hubs.reserve(nodes_.size() + 1);
+  hubs.emplace_back("", hub_.get());
+  for (auto& node : nodes_) {
+    hubs.emplace_back(node->config.name + ".", node->hub.get());
+  }
+  return obs::merged_metrics_json(hubs);
+}
+
+Status Fabric::write_metrics_json(const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status{StatusCode::kUnavailable, "cannot open " + path};
+  f << metrics_json();
+  f.close();
+  if (!f) return Status{StatusCode::kUnavailable, "write failed: " + path};
+  return Status::Ok();
+}
+
+Status Fabric::write_recordings(
+    const std::string& prefix,
+    const std::map<std::string, std::string>& tags) {
+  if (!config_.obs.record.enabled) {
+    return Status{StatusCode::kFailedPrecondition,
+                  "flight recorder is disabled (FabricConfig::obs.record)"};
+  }
+  std::map<std::string, std::string> all = tags;
+  all["t_sync"] = strformat("{}", config_.t_sync);
+  all["nodes"] = strformat("{}", nodes_.size());
+  Status s = obs::write_recording(
+      prefix + ".hw.vhprec", snapshot_recording(hub_->hw_recorder(), all),
+      obs::RecordingFormat::kBinary);
+  if (!s.ok()) return s;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = *nodes_[i];
+    std::map<std::string, std::string> node_tags = all;
+    node_tags["node"] = strformat("{}", i);
+    node_tags["node_name"] = node.config.name;
+    s = obs::write_recording(
+        prefix + "." + node.config.name + ".board.vhprec",
+        snapshot_recording(node.hub->board_recorder(), node_tags),
+        obs::RecordingFormat::kBinary);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace vhp::fabric

@@ -1,0 +1,174 @@
+#include "vhp/fabric/sync_coordinator.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "vhp/common/format.hpp"
+
+namespace vhp::fabric {
+
+Status SyncConfig::validate(std::size_t n_nodes) const {
+  if (n_nodes == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SyncConfig: at least one node required"};
+  }
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    if (quantum(i) == 0) {
+      return Status{StatusCode::kInvalidArgument,
+                    strformat("SyncConfig: node {} quantum is 0", i)};
+    }
+  }
+  return Status::Ok();
+}
+
+SyncCoordinator::SyncCoordinator(SyncConfig config,
+                                 std::vector<net::Channel*> clocks,
+                                 std::vector<std::string> names,
+                                 obs::Hub* hub)
+    : config_(std::move(config)),
+      config_status_(config_.validate(clocks.size())),
+      owned_hub_(hub != nullptr ? nullptr : new obs::Hub()),
+      hub_(hub != nullptr ? hub : owned_hub_.get()),
+      barriers_(hub_->metrics().counter("fabric.barriers")),
+      ticks_sent_(hub_->metrics().counter("fabric.ticks_sent")),
+      acks_received_(hub_->metrics().counter("fabric.acks_received")),
+      barrier_wait_ns_(hub_->metrics().histogram("fabric.barrier_wait_ns")) {
+  if (!config_status_.ok()) {
+    log_.warn("invalid config: {}", config_status_.to_string());
+  }
+  nodes_.reserve(clocks.size());
+  for (std::size_t i = 0; i < clocks.size(); ++i) {
+    std::string name =
+        i < names.size() && !names[i].empty() ? names[i]
+                                              : strformat("node{}", i);
+    const u64 quantum = std::max<u64>(1, config_.quantum(i));
+    nodes_.push_back(Node{
+        clocks[i], name, quantum, 0, quantum,
+        hub_->metrics().counter("fabric." + name + ".acks")});
+  }
+}
+
+Status SyncCoordinator::handshake() {
+  if (!config_status_.ok()) return config_status_;
+  if (handshaken_) return Status::Ok();
+  std::vector<std::size_t> pending(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) pending[i] = i;
+  Status s = gather(std::move(pending), {});
+  if (!s.ok()) return s;
+  handshaken_ = true;
+  log_.debug("handshake complete, {} nodes frozen", nodes_.size());
+  return Status::Ok();
+}
+
+u64 SyncCoordinator::next_due() const {
+  u64 due = ~u64{0};
+  for (const Node& node : nodes_) due = std::min(due, node.next_due);
+  return due;
+}
+
+Status SyncCoordinator::run_barrier(u64 cycle,
+                                    const std::function<Status()>& service) {
+  if (!config_status_.ok()) return config_status_;
+  barriers_.inc();
+  obs::Tracer& tracer = hub_->tracer();
+  const u64 span_start = tracer.enabled() ? tracer.now_ns() : 0;
+  const auto wait_start = std::chrono::steady_clock::now();
+
+  // Scatter: one CLOCK_TICK per due node, granting the cycles elapsed since
+  // its previous grant (== its quantum unless due-cycles coincide oddly).
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    if (node.next_due > cycle) continue;
+    const u64 elapsed = cycle - node.last_granted;
+    Status s = net::send_msg(
+        *node.clock, net::ClockTick{cycle, static_cast<u32>(elapsed)});
+    if (!s.ok()) {
+      return Status{s.code(), strformat("fabric: CLOCK_TICK to {} failed: {}",
+                                        node.name, s.message())};
+    }
+    ticks_sent_.inc();
+    node.last_granted = cycle;
+    node.next_due = cycle + node.quantum;
+    pending.push_back(i);
+  }
+
+  Status s = gather(std::move(pending), service);
+  if (!s.ok()) return s;
+
+  const auto wait_end = std::chrono::steady_clock::now();
+  barrier_wait_ns_.record_ns(static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wait_end -
+                                                           wait_start)
+          .count()));
+  if (tracer.enabled()) {
+    tracer.complete("fabric.barrier", "fabric", span_start, tracer.now_ns(),
+                    cycle, "cycle");
+  }
+  return Status::Ok();
+}
+
+Status SyncCoordinator::gather(std::vector<std::size_t> pending,
+                               const std::function<Status()>& service) {
+  const auto deadline =
+      config_.watchdog.count() > 0
+          ? std::chrono::steady_clock::now() + config_.watchdog
+          : std::chrono::steady_clock::time_point::max();
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (std::size_t p = 0; p < pending.size();) {
+      Node& node = nodes_[pending[p]];
+      auto ack = net::try_recv_msg(*node.clock);
+      if (!ack.ok()) {
+        return Status{ack.status().code(),
+                      strformat("fabric: CLOCK channel of {} failed: {}",
+                                node.name, ack.status().message())};
+      }
+      if (!ack.value().has_value()) {
+        ++p;
+        continue;
+      }
+      if (!std::holds_alternative<net::TimeAck>(*ack.value())) {
+        return Status{StatusCode::kInternal,
+                      strformat("fabric: expected TIME_ACK from {}, got {}",
+                                node.name,
+                                net::to_string(net::type_of(*ack.value())))};
+      }
+      acks_received_.inc();
+      node.acks.inc();
+      pending[p] = pending.back();
+      pending.pop_back();
+      progressed = true;
+    }
+    if (pending.empty()) break;
+    if (service) {
+      Status s = service();
+      if (!s.ok()) return s;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // The straggler report: name the nodes still missing so a wedged
+      // board is diagnosable from the Status alone.
+      std::string stragglers;
+      std::sort(pending.begin(), pending.end());
+      for (std::size_t index : pending) {
+        if (!stragglers.empty()) stragglers += ", ";
+        stragglers += strformat("{} (node {})", nodes_[index].name, index);
+      }
+      return Status{
+          StatusCode::kDeadlineExceeded,
+          strformat("fabric: barrier watchdog ({} ms) expired waiting for "
+                    "TIME_ACK from {}",
+                    config_.watchdog.count(), stragglers)};
+    }
+    if (!progressed) std::this_thread::yield();
+  }
+  return Status::Ok();
+}
+
+void SyncCoordinator::shutdown() {
+  for (Node& node : nodes_) {
+    if (node.clock != nullptr) (void)net::send_msg(*node.clock, net::Shutdown{});
+  }
+}
+
+}  // namespace vhp::fabric

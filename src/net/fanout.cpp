@@ -1,0 +1,43 @@
+#include "vhp/net/fanout.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "vhp/net/inproc.hpp"
+#include "vhp/net/tcp.hpp"
+
+namespace vhp::net {
+
+std::vector<LinkPair> make_inproc_link_fanout(std::size_t n,
+                                              std::size_t capacity) {
+  std::vector<LinkPair> links;
+  links.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    links.push_back(make_inproc_link_pair(capacity));
+  }
+  return links;
+}
+
+Result<std::vector<LinkPair>> make_tcp_link_fanout(std::size_t n) {
+  std::vector<LinkPair> links;
+  links.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TcpLinkListener listener;
+    // accept_link() blocks until all three peers are connected, so the
+    // board-side connect has to run on its own thread.
+    Result<CosimLink> board{
+        Status{StatusCode::kInternal, "connector thread did not run"}};
+    std::thread connector([&listener, &board] {
+      board = connect_tcp_link(listener.ports());
+    });
+    Result<CosimLink> hw = listener.accept_link();
+    connector.join();
+    if (!hw.ok()) return hw.status();
+    if (!board.ok()) return board.status();
+    links.push_back(
+        LinkPair{std::move(hw).value(), std::move(board).value()});
+  }
+  return links;
+}
+
+}  // namespace vhp::net

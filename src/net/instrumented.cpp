@@ -70,25 +70,28 @@ class InstrumentedChannel final : public Channel {
 class RecordedChannel final : public Channel {
  public:
   RecordedChannel(ChannelPtr inner, obs::FlightRecorder& recorder,
-                  obs::LinkPort port)
-      : inner_(std::move(inner)), recorder_(recorder), port_(port) {}
+                  obs::LinkPort port, u32 node)
+      : inner_(std::move(inner)), recorder_(recorder), port_(port),
+        node_(node) {}
 
   Status send(std::span<const u8> frame) override {
     Status s = inner_->send(frame);
-    if (s.ok()) recorder_.record(port_, obs::LinkDir::kTx, frame);
+    if (s.ok()) recorder_.record(port_, obs::LinkDir::kTx, frame, node_);
     return s;
   }
 
   Result<Bytes> recv(std::optional<std::chrono::milliseconds> timeout) override {
     auto frame = inner_->recv(timeout);
-    if (frame.ok()) recorder_.record(port_, obs::LinkDir::kRx, frame.value());
+    if (frame.ok()) {
+      recorder_.record(port_, obs::LinkDir::kRx, frame.value(), node_);
+    }
     return frame;
   }
 
   Result<std::optional<Bytes>> try_recv() override {
     auto frame = inner_->try_recv();
     if (frame.ok() && frame.value().has_value()) {
-      recorder_.record(port_, obs::LinkDir::kRx, *frame.value());
+      recorder_.record(port_, obs::LinkDir::kRx, *frame.value(), node_);
     }
     return frame;
   }
@@ -99,6 +102,7 @@ class RecordedChannel final : public Channel {
   ChannelPtr inner_;
   obs::FlightRecorder& recorder_;
   obs::LinkPort port_;
+  u32 node_;
 };
 
 }  // namespace
@@ -117,18 +121,20 @@ CosimLink instrument_link(CosimLink link, obs::Hub& hub,
 }
 
 ChannelPtr record_channel(ChannelPtr inner, obs::FlightRecorder& recorder,
-                          obs::LinkPort port) {
+                          obs::LinkPort port, u32 node) {
   if (!recorder.enabled()) return inner;  // disabled: no decorator hop
-  return std::make_unique<RecordedChannel>(std::move(inner), recorder, port);
+  return std::make_unique<RecordedChannel>(std::move(inner), recorder, port,
+                                           node);
 }
 
-CosimLink record_link(CosimLink link, obs::FlightRecorder& recorder) {
-  link.data =
-      record_channel(std::move(link.data), recorder, obs::LinkPort::kData);
-  link.intr =
-      record_channel(std::move(link.intr), recorder, obs::LinkPort::kInt);
-  link.clock =
-      record_channel(std::move(link.clock), recorder, obs::LinkPort::kClock);
+CosimLink record_link(CosimLink link, obs::FlightRecorder& recorder,
+                      u32 node) {
+  link.data = record_channel(std::move(link.data), recorder,
+                             obs::LinkPort::kData, node);
+  link.intr = record_channel(std::move(link.intr), recorder,
+                             obs::LinkPort::kInt, node);
+  link.clock = record_channel(std::move(link.clock), recorder,
+                              obs::LinkPort::kClock, node);
   return link;
 }
 

@@ -285,6 +285,16 @@ ReplaySession::~ReplaySession() = default;
 
 Result<std::unique_ptr<ReplaySession>> ReplaySession::open(
     obs::Recording recording, ReplayOptions options) {
+  // A fabric recording carries every node's link in one sequence; replay
+  // impersonates one peer, so keep only the requested node's frames.
+  std::erase_if(recording.frames, [&](const FrameRecord& r) {
+    return r.node != options.node;
+  });
+  if (options.node != 0 && recording.frames.empty()) {
+    return Status{StatusCode::kNotFound,
+                  strformat("recording holds no frames for node {}",
+                            options.node)};
+  }
   for (const FrameRecord& r : recording.frames) {
     if (r.dir == LinkDir::kRx && r.truncated) {
       return Status{

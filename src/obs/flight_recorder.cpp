@@ -39,7 +39,7 @@ void FlightRecorder::set_board_time_source(std::function<u64()> source) {
 }
 
 void FlightRecorder::record(LinkPort port, LinkDir dir,
-                            std::span<const u8> frame) {
+                            std::span<const u8> frame, u32 node) {
   if (!config_.enabled || ring_.empty()) return;
   const u64 wall_ns = static_cast<u64>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -52,6 +52,7 @@ void FlightRecorder::record(LinkPort port, LinkDir dir,
   slot.seq = next_seq_++;
   slot.port = port;
   slot.dir = dir;
+  slot.node = node;
   slot.msg_type = frame.empty() ? 0 : frame[0];
   slot.truncated = stored < frame.size();
   slot.hw_cycle = hw_time_ ? hw_time_() : 0;

@@ -16,7 +16,7 @@ void Hub::add_collector(std::function<void(MetricsRegistry&)> collector) {
   collectors_.push_back(std::move(collector));
 }
 
-std::string Hub::metrics_json() {
+void Hub::collect() {
   {
     std::scoped_lock lock(collectors_mu_);
     for (auto& collector : collectors_) collector(metrics_);
@@ -32,7 +32,25 @@ std::string Hub::metrics_json() {
     metrics_.gauge("obs.trace.dropped_events")
         .set(static_cast<i64>(tracer_.dropped()));
   }
-  return metrics_.to_json();
+}
+
+std::string Hub::metrics_json(std::string_view node_prefix) {
+  collect();
+  return metrics_.to_json(node_prefix);
+}
+
+std::string merged_metrics_json(
+    std::span<const std::pair<std::string, Hub*>> hubs) {
+  std::string counters, gauges, histograms;
+  bool first_counter = true, first_gauge = true, first_histogram = true;
+  for (const auto& [prefix, hub] : hubs) {
+    hub->collect();
+    hub->metrics().append_json_sections(counters, gauges, histograms, prefix,
+                                        first_counter, first_gauge,
+                                        first_histogram);
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
 }
 
 Status Hub::write_metrics_json(const std::string& path) {

@@ -57,30 +57,30 @@ void MetricsRegistry::for_each_histogram(
   for (const auto& [name, h] : histograms_) fn(name, *h);
 }
 
-std::string MetricsRegistry::to_json() const {
-  std::ostringstream out;
-  out << "{";
-  bool first = true;
-  out << "\"counters\":{";
+void MetricsRegistry::append_json_sections(
+    std::string& counters, std::string& gauges, std::string& histograms,
+    std::string_view prefix, bool& first_counter, bool& first_gauge,
+    bool& first_histogram) const {
+  const std::string escaped_prefix = json_escape(prefix);
   for_each_counter([&](const std::string& name, const Counter& c) {
-    if (!first) out << ",";
-    first = false;
-    out << "\"" << json_escape(name) << "\":" << c.value();
+    if (!first_counter) counters += ",";
+    first_counter = false;
+    counters += "\"" + escaped_prefix + json_escape(name) +
+                "\":" + std::to_string(c.value());
   });
-  out << "},\"gauges\":{";
-  first = true;
   for_each_gauge([&](const std::string& name, const Gauge& g) {
-    if (!first) out << ",";
-    first = false;
-    out << "\"" << json_escape(name) << "\":" << g.value();
+    if (!first_gauge) gauges += ",";
+    first_gauge = false;
+    gauges += "\"" + escaped_prefix + json_escape(name) +
+              "\":" + std::to_string(g.value());
   });
-  out << "},\"histograms\":{";
-  first = true;
   for_each_histogram([&](const std::string& name, const LatencyHistogram& h) {
-    if (!first) out << ",";
-    first = false;
-    out << "\"" << json_escape(name) << "\":{\"count\":" << h.count()
-        << ",\"sum_ns\":" << h.sum_ns() << ",\"buckets\":[";
+    if (!first_histogram) histograms += ",";
+    first_histogram = false;
+    std::ostringstream out;
+    out << "\"" << escaped_prefix << json_escape(name)
+        << "\":{\"count\":" << h.count() << ",\"sum_ns\":" << h.sum_ns()
+        << ",\"buckets\":[";
     bool first_bucket = true;
     for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
       const u64 n = h.bucket(i);
@@ -91,9 +91,17 @@ std::string MetricsRegistry::to_json() const {
           << ",\"count\":" << n << "}";
     }
     out << "]}";
+    histograms += out.str();
   });
-  out << "}}";
-  return out.str();
+}
+
+std::string MetricsRegistry::to_json(std::string_view key_prefix) const {
+  std::string counters, gauges, histograms;
+  bool first_counter = true, first_gauge = true, first_histogram = true;
+  append_json_sections(counters, gauges, histograms, key_prefix,
+                       first_counter, first_gauge, first_histogram);
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
 }
 
 std::string json_escape(std::string_view s) {

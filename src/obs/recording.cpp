@@ -14,7 +14,12 @@ namespace vhp::obs {
 
 namespace {
 
+// Version 1 carries no per-frame node id; version 2 appends one. The writer
+// sticks to version 1 while every frame is node 0, so single-node (classic
+// two-party) recordings stay byte-identical to what older builds wrote and
+// read.
 constexpr char kBinaryMagic[8] = {'V', 'H', 'P', 'R', 'E', 'C', '0', '1'};
+constexpr char kBinaryMagicV2[8] = {'V', 'H', 'P', 'R', 'E', 'C', '0', '2'};
 constexpr std::string_view kJsonlMagic = "{\"format\":\"vhp-recording\"";
 
 std::string to_hex(std::span<const u8> data) {
@@ -93,10 +98,11 @@ Status bad_file(const std::string& path, const std::string& what) {
 
 // --- binary encoding -------------------------------------------------------
 
-void encode_frame(ByteWriter& w, const FrameRecord& r) {
+void encode_frame(ByteWriter& w, const FrameRecord& r, bool with_node) {
   w.u64v(r.seq);
   w.u8v(static_cast<u8>(r.port));
   w.u8v(static_cast<u8>(r.dir));
+  if (with_node) w.u32v(r.node);
   w.u8v(r.msg_type);
   w.u8v(r.truncated ? 1 : 0);
   w.u64v(r.hw_cycle);
@@ -107,10 +113,11 @@ void encode_frame(ByteWriter& w, const FrameRecord& r) {
   w.sized_bytes(r.payload);
 }
 
-bool decode_frame(ByteReader& r, FrameRecord& out) {
+bool decode_frame(ByteReader& r, FrameRecord& out, bool with_node) {
   out.seq = r.u64v();
   const u8 port = r.u8v();
   const u8 dir = r.u8v();
+  out.node = with_node ? r.u32v() : 0;
   out.msg_type = r.u8v();
   out.truncated = r.u8v() != 0;
   out.hw_cycle = r.u64v();
@@ -188,6 +195,7 @@ Result<Recording> read_jsonl(const std::string& path, std::istream& in) {
     r.seq = *seq;
     r.port = *port;
     r.dir = *dir == "tx" ? LinkDir::kTx : LinkDir::kRx;
+    r.node = static_cast<u32>(u64_value(line, "node").value_or(0));
     r.msg_type = static_cast<u8>(u64_value(line, "type").value_or(0));
     r.truncated = raw_value(line, "truncated").value_or("false") == "true";
     r.hw_cycle = u64_value(line, "hw_cycle").value_or(0);
@@ -212,8 +220,12 @@ Result<Recording> read_binary(const std::string& path, std::istream& in) {
   ByteReader r{std::span{reinterpret_cast<const u8*>(data.data()),
                          data.size()}};
   Bytes magic = r.bytes(sizeof kBinaryMagic);
-  if (!r.ok() ||
-      !std::equal(magic.begin(), magic.end(), std::begin(kBinaryMagic))) {
+  bool with_node = false;
+  if (r.ok() &&
+      std::equal(magic.begin(), magic.end(), std::begin(kBinaryMagicV2))) {
+    with_node = true;
+  } else if (!r.ok() || !std::equal(magic.begin(), magic.end(),
+                                    std::begin(kBinaryMagic))) {
     return bad_file(path, "not a vhp recording (bad magic)");
   }
   Recording rec;
@@ -231,7 +243,7 @@ Result<Recording> read_binary(const std::string& path, std::istream& in) {
   rec.frames.reserve(n_frames);
   for (u64 i = 0; i < n_frames; ++i) {
     FrameRecord frame;
-    if (!decode_frame(r, frame)) {
+    if (!decode_frame(r, frame, with_node)) {
       return bad_file(path, strformat("truncated frame {}", i));
     }
     rec.frames.push_back(std::move(frame));
@@ -254,8 +266,10 @@ RecordingFormat format_for_path(const std::string& path) {
 std::string frame_record_to_json(const FrameRecord& r) {
   std::ostringstream out;
   out << "{\"seq\":" << r.seq << ",\"port\":\"" << to_string(r.port)
-      << "\",\"dir\":\"" << to_string(r.dir)
-      << "\",\"type\":" << static_cast<unsigned>(r.msg_type)
+      << "\",\"dir\":\"" << to_string(r.dir) << "\"";
+  // node 0 is implicit so single-node JSONL dumps keep their old shape.
+  if (r.node != 0) out << ",\"node\":" << r.node;
+  out << ",\"type\":" << static_cast<unsigned>(r.msg_type)
       << ",\"hw_cycle\":" << r.hw_cycle << ",\"board_tick\":" << r.board_tick
       << ",\"wall_ns\":" << r.wall_ns << ",\"size\":" << r.payload_size
       << ",\"digest\":" << r.digest;
@@ -274,9 +288,13 @@ Status write_recording(const std::string& path, const Recording& recording,
       f << frame_record_to_json(r) << "\n";
     }
   } else {
+    const bool with_node =
+        std::any_of(recording.frames.begin(), recording.frames.end(),
+                    [](const FrameRecord& r) { return r.node != 0; });
     Bytes out;
     ByteWriter w{out};
-    w.bytes(std::span{reinterpret_cast<const u8*>(kBinaryMagic),
+    w.bytes(std::span{reinterpret_cast<const u8*>(
+                          with_node ? kBinaryMagicV2 : kBinaryMagic),
                       sizeof kBinaryMagic});
     w.sized_bytes(std::span{
         reinterpret_cast<const u8*>(recording.meta.side.data()),
@@ -289,7 +307,9 @@ Status write_recording(const std::string& path, const Recording& recording,
           std::span{reinterpret_cast<const u8*>(value.data()), value.size()});
     }
     w.u64v(recording.frames.size());
-    for (const FrameRecord& r : recording.frames) encode_frame(w, r);
+    for (const FrameRecord& r : recording.frames) {
+      encode_frame(w, r, with_node);
+    }
     f.write(reinterpret_cast<const char*>(out.data()),
             static_cast<std::streamsize>(out.size()));
   }
@@ -310,10 +330,12 @@ Result<Recording> read_recording(const std::string& path) {
 // Divergence checking
 
 std::string Divergence::to_string() const {
+  const std::string where =
+      node == 0 ? std::string(obs::to_string(port))
+                : strformat("node {} {}", node, obs::to_string(port));
   return strformat(
       "divergence at seq {} ({} {}, hw_cycle {}, board_tick {}): {}", seq,
-      obs::to_string(port), obs::to_string(dir), hw_cycle, board_tick,
-      reason);
+      where, obs::to_string(dir), hw_cycle, board_tick, reason);
 }
 
 std::string compare_frames(const FrameRecord& expected,
@@ -348,19 +370,29 @@ std::string compare_frames(const FrameRecord& expected,
                    expected.digest, actual.digest);
 }
 
+std::size_t DivergenceChecker::queue_index(u32 node, LinkPort port,
+                                           LinkDir dir) {
+  const std::size_t index =
+      static_cast<std::size_t>(node) * kQueuesPerNode +
+      static_cast<std::size_t>(port) * 2 + static_cast<std::size_t>(dir);
+  if (index >= queues_.size()) queues_.resize(index + 1);
+  return index;
+}
+
 DivergenceChecker::DivergenceChecker(const Recording& reference,
                                      FrameDiffFn diff)
     : diff_(diff) {
   for (const FrameRecord& r : reference.frames) {
-    queues_[queue_index(r.port, r.dir)].push_back(r);
+    queues_[queue_index(r.node, r.port, r.dir)].frames.push_back(r);
   }
 }
 
 bool DivergenceChecker::check(LinkPort port, LinkDir dir,
-                              std::span<const u8> frame) {
+                              std::span<const u8> frame, u32 node) {
   FrameRecord live;
   live.port = port;
   live.dir = dir;
+  live.node = node;
   live.msg_type = frame.empty() ? 0 : frame[0];
   live.payload_size = static_cast<u32>(frame.size());
   live.digest = crc32(frame);
@@ -370,22 +402,22 @@ bool DivergenceChecker::check(LinkPort port, LinkDir dir,
 
 bool DivergenceChecker::check(const FrameRecord& live) {
   if (divergence_.has_value()) return false;
-  auto& queue = queues_[queue_index(live.port, live.dir)];
-  auto& next = next_[queue_index(live.port, live.dir)];
-  if (next >= queue.size()) {
+  Queue& queue = queues_[queue_index(live.node, live.port, live.dir)];
+  if (queue.next >= queue.frames.size()) {
     divergence_ = Divergence{
-        .seq = queue.empty() ? 0 : queue.back().seq,
+        .seq = queue.frames.empty() ? 0 : queue.frames.back().seq,
         .port = live.port,
         .dir = live.dir,
+        .node = live.node,
         .reason = strformat(
             "live side produced frame {} on {} {} beyond the recording's {}",
-            next + 1, obs::to_string(live.port), obs::to_string(live.dir),
-            queue.size())};
+            queue.next + 1, obs::to_string(live.port),
+            obs::to_string(live.dir), queue.frames.size())};
     return false;
   }
   // Either side may have kept only a payload prefix; compare the common
   // stored prefix — payload_size and digest still describe the full frames.
-  FrameRecord expected = queue[next];
+  FrameRecord expected = queue.frames[queue.next];
   FrameRecord probe = live;
   if (expected.payload.size() != probe.payload.size() &&
       (expected.truncated || probe.truncated)) {
@@ -400,12 +432,13 @@ bool DivergenceChecker::check(const FrameRecord& live) {
     divergence_ = Divergence{.seq = expected.seq,
                              .port = live.port,
                              .dir = live.dir,
+                             .node = live.node,
                              .hw_cycle = expected.hw_cycle,
                              .board_tick = expected.board_tick,
                              .reason = std::move(reason)};
     return false;
   }
-  ++next;
+  ++queue.next;
   ++matched_;
   return true;
 }

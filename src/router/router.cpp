@@ -9,9 +9,17 @@ namespace vhp::router {
 
 RouterModule::RouterModule(sim::Kernel& kernel, RouterConfig config,
                            cosim::DriverRegistry* registry)
+    : RouterModule(kernel, std::move(config),
+                   registry == nullptr
+                       ? std::vector<cosim::DriverRegistry*>{}
+                       : std::vector<cosim::DriverRegistry*>{registry}) {}
+
+RouterModule::RouterModule(
+    sim::Kernel& kernel, RouterConfig config,
+    const std::vector<cosim::DriverRegistry*>& registries)
     : Module(kernel, "router"), config_(std::move(config)),
       irq_(kernel, qualify("irq"), false) {
-  if (config_.remote_checksum && registry == nullptr) {
+  if (config_.remote_checksum && registries.empty()) {
     throw std::invalid_argument(
         "RouterModule: remote checksum needs a DriverRegistry");
   }
@@ -24,10 +32,28 @@ RouterModule::RouterModule(sim::Kernel& kernel, RouterConfig config,
         kernel, qualify(strformat("out{}", i)), 1024));
   }
   if (config_.remote_checksum) {
-    packet_out_ = std::make_unique<cosim::DriverOut<Bytes>>(
-        *registry, qualify("packet_out"), config_.packet_out_addr);
-    verdict_in_ = std::make_unique<cosim::DriverIn<u32>>(
-        kernel, *registry, qualify("verdict_in"), config_.verdict_in_addr);
+    // Verifier 0 keeps the classic names/line; further verifiers (fabric
+    // mode, one board per port) get suffixed ports and their own lines.
+    // All verifiers use the same device addresses — their registries are
+    // per-node, so nothing collides.
+    for (std::size_t v = 0; v < registries.size(); ++v) {
+      assert(registries[v] != nullptr);
+      const std::string suffix = v == 0 ? "" : strformat("{}", v);
+      sim::BoolSignal* irq = &irq_;
+      if (v != 0) {
+        extra_irqs_.push_back(std::make_unique<sim::BoolSignal>(
+            kernel, qualify("irq" + suffix), false));
+        irq = extra_irqs_.back().get();
+      }
+      verifiers_.push_back(Verifier{
+          irq,
+          std::make_unique<cosim::DriverOut<Bytes>>(
+              *registries[v], qualify("packet_out" + suffix),
+              config_.packet_out_addr),
+          std::make_unique<cosim::DriverIn<u32>>(
+              kernel, *registries[v], qualify("verdict_in" + suffix),
+              config_.verdict_in_addr)});
+    }
   }
   thread("main", [this] { main_loop(); });
 }
@@ -61,36 +87,38 @@ bool RouterModule::drained() const {
   return true;
 }
 
-std::optional<bool> RouterModule::verify_remote(const Packet& packet) {
+std::optional<bool> RouterModule::verify_remote(const Packet& packet,
+                                                std::size_t in_port) {
+  Verifier& verifier = verifiers_[in_port % verifiers_.size()];
   ++stats_.checksum_requests;
-  packet_out_->write(packet.pack());
-  irq_.write(true);  // sampled at the cycle boundary -> INT_RAISE
+  verifier.packet_out->write(packet.pack());
+  verifier.irq->write(true);  // sampled at the cycle boundary -> INT_RAISE
   bool ok = false;
   const sim::SimTime deadline_units =
       config_.verdict_timeout_cycles * config_.clock_period;
   sim::SimTime waited = 0;
   for (;;) {
     if (config_.verdict_timeout_cycles == 0) {
-      sim::wait(verdict_in_->data_written_event());
+      sim::wait(verifier.verdict_in->data_written_event());
     } else {
       const sim::SimTime before = kernel().now();
       if (waited >= deadline_units ||
-          !sim::wait_with_timeout(verdict_in_->data_written_event(),
+          !sim::wait_with_timeout(verifier.verdict_in->data_written_event(),
                                   deadline_units - waited)) {
-        irq_.write(false);
+        verifier.irq->write(false);
         sim::wait(config_.clock_period);
         return std::nullopt;  // counted once, in main_loop
       }
       waited += kernel().now() - before;
     }
-    const u32 verdict = verdict_in_->read();
+    const u32 verdict = verifier.verdict_in->read();
     if ((verdict >> 1) == packet.id) {
       ok = (verdict & 1u) != 0;
       break;
     }
     // Stale verdict from a previous request; keep waiting.
   }
-  irq_.write(false);
+  verifier.irq->write(false);
   // Let the line settle low for a cycle so the next request produces a
   // fresh rising edge at the sampling points.
   sim::wait(config_.clock_period);
@@ -103,10 +131,12 @@ void RouterModule::main_loop() {
   for (;;) {
     Packet packet;
     bool got = false;
+    std::size_t in_port = 0;
     for (std::size_t k = 0; k < inputs_.size(); ++k) {
       const std::size_t i = (rr + k) % inputs_.size();
       if (inputs_[i]->nb_read(packet)) {
         rr = (i + 1) % inputs_.size();
+        in_port = i;
         got = true;
         break;
       }
@@ -118,7 +148,7 @@ void RouterModule::main_loop() {
     ++stats_.processed;
     sim::wait(config_.proc_cycles * period);  // HW pipeline latency
     const std::optional<bool> ok =
-        config_.remote_checksum ? verify_remote(packet)
+        config_.remote_checksum ? verify_remote(packet, in_port)
                                 : std::optional<bool>{packet.checksum_ok()};
     if (!ok.has_value()) {
       ++stats_.dropped_verdict_timeout;  // board never answered

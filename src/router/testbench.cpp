@@ -4,9 +4,19 @@ namespace vhp::router {
 
 RouterTestbench::RouterTestbench(sim::Kernel& kernel, TestbenchConfig config,
                                  cosim::DriverRegistry* registry)
+    : RouterTestbench(kernel, std::move(config),
+                      registry == nullptr
+                          ? std::vector<cosim::DriverRegistry*>{}
+                          : std::vector<cosim::DriverRegistry*>{registry}) {}
+
+RouterTestbench::RouterTestbench(
+    sim::Kernel& kernel, TestbenchConfig config,
+    const std::vector<cosim::DriverRegistry*>& registries)
     : config_(config) {
-  router_ =
-      std::make_unique<RouterModule>(kernel, config_.router, registry);
+  router_ = registries.empty()
+                ? std::make_unique<RouterModule>(kernel, config_.router)
+                : std::make_unique<RouterModule>(kernel, config_.router,
+                                                 registries);
   for (std::size_t p = 0; p < config_.router.n_ports; ++p) {
     GeneratorConfig gen;
     gen.port = p;

@@ -1,9 +1,13 @@
 // vhptrace — inspect flight-recorder recordings from the command line.
 //
 //   vhptrace inspect <recording> [--limit N] [--port data|int|clock]
-//   vhptrace stats <recording>
-//   vhptrace diff <recording-a> <recording-b>
+//                    [--node N]
+//   vhptrace stats <recording> [--node N]
+//   vhptrace diff <recording-a> <recording-b> [--node N]
 //   vhptrace to-chrome <recording> [out.json]
+//
+// Fabric recordings interleave N nodes' links in one global sequence;
+// --node keeps one node's frames (two-party recordings are all node 0).
 //
 // Thin shell over the library: the subcommand logic lives in
 // vhp/obs/recording.hpp (tested there); this file only parses arguments.
@@ -11,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,12 +32,13 @@ int usage() {
   std::fprintf(stderr,
                "usage: vhptrace <subcommand> ...\n"
                "  inspect <recording> [--limit N] [--port data|int|clock]\n"
+               "          [--node N]\n"
                "      one frame per line: seq, port, dir, decoded message,\n"
                "      virtual time stamps\n"
-               "  stats <recording>\n"
+               "  stats <recording> [--node N]\n"
                "      per-port frame/byte totals, message-type histogram,\n"
                "      time span\n"
-               "  diff <a> <b>\n"
+               "  diff <a> <b> [--node N]\n"
                "      first mismatching frame between two recordings\n"
                "      (exit 1 when they diverge)\n"
                "  to-chrome <recording> [out.json]\n"
@@ -47,6 +53,25 @@ obs::Recording load_or_exit(const std::string& path) {
     std::exit(2);
   }
   return std::move(rec).value();
+}
+
+/// Pops a trailing "--node N" pair out of `args`; nullopt when absent.
+std::optional<u32> take_node_filter(std::vector<std::string>& args) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] != "--node") continue;
+    const u32 node = static_cast<u32>(std::stoul(args[i + 1]));
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    return node;
+  }
+  return std::nullopt;
+}
+
+void keep_node(obs::Recording& rec, std::optional<u32> node) {
+  if (!node.has_value()) return;
+  std::erase_if(rec.frames, [&](const obs::FrameRecord& r) {
+    return r.node != *node;
+  });
 }
 
 /// One human-readable line per frame: the decoded protocol message when the
@@ -96,12 +121,15 @@ std::string describe(const obs::FrameRecord& r) {
                     static_cast<unsigned>(r.msg_type), r.payload_size,
                     r.digest, r.truncated ? " (truncated)" : "");
   }
-  return strformat("{} {} {} hw_cycle={} board_tick={} {}", r.seq,
+  const std::string node =
+      r.node != 0 ? strformat("node={} ", r.node) : std::string{};
+  return strformat("{} {}{} {} hw_cycle={} board_tick={} {}", r.seq, node,
                    obs::to_string(r.port), obs::to_string(r.dir), r.hw_cycle,
                    r.board_tick, msg);
 }
 
-int cmd_inspect(const std::vector<std::string>& args) {
+int cmd_inspect(std::vector<std::string> args) {
+  const std::optional<u32> node = take_node_filter(args);
   if (args.empty()) return usage();
   std::size_t limit = ~std::size_t{0};
   std::string port_filter;
@@ -114,7 +142,8 @@ int cmd_inspect(const std::vector<std::string>& args) {
       return usage();
     }
   }
-  const obs::Recording rec = load_or_exit(args[0]);
+  obs::Recording rec = load_or_exit(args[0]);
+  keep_node(rec, node);
   std::printf("# side=%s frames=%zu\n", rec.meta.side.c_str(),
               rec.frames.size());
   for (const auto& [key, value] : rec.meta.tags) {
@@ -131,17 +160,22 @@ int cmd_inspect(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_stats(const std::vector<std::string>& args) {
+int cmd_stats(std::vector<std::string> args) {
+  const std::optional<u32> node = take_node_filter(args);
   if (args.size() != 1) return usage();
-  std::fputs(obs::recording_stats_text(load_or_exit(args[0])).c_str(),
-             stdout);
+  obs::Recording rec = load_or_exit(args[0]);
+  keep_node(rec, node);
+  std::fputs(obs::recording_stats_text(rec).c_str(), stdout);
   return 0;
 }
 
-int cmd_diff(const std::vector<std::string>& args) {
+int cmd_diff(std::vector<std::string> args) {
+  const std::optional<u32> node = take_node_filter(args);
   if (args.size() != 2) return usage();
-  const obs::Recording a = load_or_exit(args[0]);
-  const obs::Recording b = load_or_exit(args[1]);
+  obs::Recording a = load_or_exit(args[0]);
+  obs::Recording b = load_or_exit(args[1]);
+  keep_node(a, node);
+  keep_node(b, node);
   const auto divergence =
       obs::diff_recordings(a, b, &net::message_field_diff);
   if (!divergence.has_value()) {

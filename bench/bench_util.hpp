@@ -51,6 +51,12 @@ struct ExperimentParams {
   /// ISSUE-2 acceptance check: recording must stay under 5% wall-time
   /// overhead on fig6_overhead_ratio.
   bool record = false;
+  /// Fault injection / link recovery for this run (vhp::fault). The
+  /// defaults are disarmed: an empty plan compiles to nullptr and disabled
+  /// recovery returns the link untouched, so configuring them must cost
+  /// nothing — fault_overhead checks exactly that.
+  fault::FaultPlan fault_plan{};
+  fault::RecoveryConfig recovery{};
 
   /// Simulated work matched to the traffic: generation span + a drain tail.
   [[nodiscard]] u64 traffic_span_cycles() const {
@@ -92,6 +98,8 @@ inline ExperimentResult run_router_experiment(const ExperimentParams& p) {
   cfg.board.rtos.cycles_per_tick = 10;
   cfg.obs.enabled = p.observability;
   cfg.obs.record.enabled = p.record;
+  cfg.fault_plan = p.fault_plan;
+  cfg.recovery = p.recovery;
   cfg.postmortem_prefix.clear();  // benches measure; no dump side effects
   cosim::CosimSession session{cfg};
 

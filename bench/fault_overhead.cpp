@@ -1,0 +1,141 @@
+// Fault-layer overhead: the zero-hop acceptance check for vhp::fault.
+//
+// Three configurations of the same fixed-cycle router co-simulation:
+//   baseline  — no fault configuration at all
+//   disarmed  — an empty FaultPlan + recovery disabled in the config; both
+//               must compile away (no decorator inserted, no extra hop)
+//   armed     — a seeded drop plan with the recovery layer on, as a
+//               reference point for what real chaos costs
+//
+// The gate is disarmed-vs-baseline: under 1% wall-time overhead, measured
+// on the min over several repetitions (min is the noise-robust statistic
+// for "what does this configuration cost at best"). The armed row is
+// informational and not gated.
+//
+// Output: BENCH_fault_overhead.metrics.json — one row per configuration
+// plus the computed disarmed overhead percentage.
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "vhp/fault/plan.hpp"
+
+using namespace vhp;
+
+namespace {
+
+struct ConfigResult {
+  double wall_min_s = 0;
+  double wall_mean_s = 0;
+  bench::ExperimentResult last;  // one representative run's counters
+};
+
+ConfigResult run_config(const bench::ExperimentParams& params, int reps) {
+  ConfigResult r;
+  r.wall_min_s = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    bench::ExperimentResult one = bench::run_router_experiment(params);
+    r.wall_min_s = std::min(r.wall_min_s, one.wall_seconds);
+    r.wall_mean_s += one.wall_seconds / reps;
+    r.last = std::move(one);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "fault layer overhead: disarmed config vs plain session vs armed chaos",
+      "vhp::fault acceptance: a disarmed fault layer costs under 1%");
+  const bool quick = bench::quick_mode(argc, argv);
+  const int reps = quick ? 3 : 5;
+
+  bench::ExperimentParams params;
+  params.n_packets = 40;
+  params.t_sync = 1000;
+  params.gap_cycles = 400;
+  params.fixed_cycles = quick ? 60000 : 120000;
+  params.transport = cosim::TransportKind::kInProc;  // minimal noise floor
+
+  const ConfigResult baseline = run_config(params, reps);
+
+  // Disarmed: the fault fields are *set* but carry no rules and recovery
+  // stays off — the session must not insert a single decorator for this.
+  bench::ExperimentParams disarmed = params;
+  disarmed.fault_plan = fault::FaultPlan{};
+  disarmed.recovery = fault::RecoveryConfig{};
+  const ConfigResult zero_hop = run_config(disarmed, reps);
+
+  bench::ExperimentParams armed = params;
+  armed.fault_plan.seed = 11;
+  {
+    fault::FaultRule rule;
+    rule.kind = fault::FaultKind::kDrop;
+    rule.probability = 0.02;
+    armed.fault_plan.add(rule);
+  }
+  armed.recovery.enabled = true;
+  armed.recovery.rto = std::chrono::milliseconds{2};
+  armed.recovery.rto_max = std::chrono::milliseconds{50};
+  const ConfigResult chaos = run_config(armed, reps);
+
+  const double overhead_pct =
+      baseline.wall_min_s > 0
+          ? (zero_hop.wall_min_s / baseline.wall_min_s - 1.0) * 100.0
+          : 0.0;
+  const double armed_pct =
+      baseline.wall_min_s > 0
+          ? (chaos.wall_min_s / baseline.wall_min_s - 1.0) * 100.0
+          : 0.0;
+
+  std::printf("%10s %12s %12s %10s\n", "config", "wall_min_s", "wall_mean_s",
+              "vs_base");
+  std::printf("%10s %12.4f %12.4f %9s\n", "baseline", baseline.wall_min_s,
+              baseline.wall_mean_s, "-");
+  std::printf("%10s %12.4f %12.4f %+9.2f%%\n", "disarmed", zero_hop.wall_min_s,
+              zero_hop.wall_mean_s, overhead_pct);
+  std::printf("%10s %12.4f %12.4f %+9.2f%%\n", "armed", chaos.wall_min_s,
+              chaos.wall_mean_s, armed_pct);
+
+  std::vector<bench::JsonRow> rows;
+  const struct {
+    const char* name;
+    const ConfigResult* r;
+    double pct;
+  } table[] = {{"baseline", &baseline, 0.0},
+               {"disarmed", &zero_hop, overhead_pct},
+               {"armed", &chaos, armed_pct}};
+  for (const auto& entry : table) {
+    bench::JsonRow row;
+    row.params = strformat(
+        "\"config\":\"{}\",\"reps\":{},\"fixed_cycles\":{},"
+        "\"wall_min_s\":{},\"wall_mean_s\":{},\"overhead_pct\":{},"
+        "\"forwarded\":{},\"syncs\":{}",
+        entry.name, reps, *params.fixed_cycles, entry.r->wall_min_s,
+        entry.r->wall_mean_s, entry.pct, entry.r->last.forwarded,
+        entry.r->last.syncs);
+    row.wall_seconds = entry.r->wall_min_s;
+    row.metrics_json = entry.r->last.metrics_json;
+    rows.push_back(std::move(row));
+  }
+
+  const std::string path = bench::json_output_path(
+      argc, argv, "BENCH_fault_overhead.metrics.json");
+  if (bench::write_bench_json(path, "fault_overhead", rows)) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "\nfailed to write %s\n", path.c_str());
+    return 2;
+  }
+
+  if (overhead_pct > 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: disarmed fault layer costs %.2f%% (budget 1%%)\n",
+                 overhead_pct);
+    return 1;
+  }
+  std::printf("disarmed overhead %.2f%% — within the 1%% budget\n",
+              overhead_pct);
+  return 0;
+}

@@ -26,6 +26,8 @@ enum class StatusCode {
   kUnavailable,     // transient transport failure
   kDeadlineExceeded,
   kAborted,         // peer shut down / connection closed
+  kConnectionReset, // peer reset the connection (ECONNRESET) — retryable by
+                    // a recovery layer, unlike an orderly kAborted close
   kInternal,
 };
 

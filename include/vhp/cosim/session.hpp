@@ -10,6 +10,8 @@
 
 #include "vhp/board/board.hpp"
 #include "vhp/cosim/cosim_kernel.hpp"
+#include "vhp/fault/plan.hpp"
+#include "vhp/fault/reliable.hpp"
 #include "vhp/net/latency.hpp"
 #include "vhp/obs/hub.hpp"
 
@@ -25,6 +27,13 @@ struct SessionConfig {
   /// The paper's physical medium (Ethernet + eCos IP stack) is much slower
   /// than loopback; absolute-overhead experiments emulate that here.
   net::LinkEmulationConfig link_emulation{};
+  /// Deterministic fault injection on the hw side of the link (see
+  /// vhp/fault/plan.hpp); an empty plan is zero-hop. A plan that can lose
+  /// or mutate frames requires recovery.enabled.
+  fault::FaultPlan fault_plan{};
+  /// Link-level recovery (sequence numbers, ack/retransmit, reconnect) on
+  /// both sides of the link — see vhp/fault/reliable.hpp.
+  fault::RecoveryConfig recovery{};
   /// Observability (vhp::obs): off by default — the costly instruments
   /// (timeline tracing, stall profiling, per-frame link accounting) are
   /// opt-in; plain metric counters always run.
@@ -108,6 +117,19 @@ class SessionConfigBuilder {
     return *this;
   }
 
+  SessionConfigBuilder& fault_plan(fault::FaultPlan plan) {
+    config_.fault_plan = std::move(plan);
+    return *this;
+  }
+  SessionConfigBuilder& recovery(fault::RecoveryConfig recovery_config) {
+    config_.recovery = recovery_config;
+    return *this;
+  }
+  SessionConfigBuilder& recover(bool on = true) {
+    config_.recovery.enabled = on;
+    return *this;
+  }
+
   SessionConfigBuilder& observability(bool on = true) {
     config_.obs.enabled = on;
     return *this;
@@ -176,6 +198,11 @@ class CosimSession {
   /// and stall profiling when SessionConfig::obs.enabled.
   [[nodiscard]] obs::Hub& obs() { return *hub_; }
 
+  /// The compiled fault schedule; nullptr when the plan is unarmed.
+  [[nodiscard]] fault::FaultSchedule* fault_schedule() {
+    return schedule_.get();
+  }
+
   /// Dumps all metrics (counters/gauges/histograms, both sides of the link)
   /// as one JSON object. Call after finish() for exact totals.
   Status write_metrics_json(const std::string& path) {
@@ -223,6 +250,7 @@ class CosimSession {
   [[nodiscard]] std::map<std::string, std::string> config_tags() const;
 
   SessionConfig config_;
+  std::shared_ptr<fault::FaultSchedule> schedule_;  // null when unarmed
   std::unique_ptr<obs::Hub> hub_;  // outlives both sides, they hold Hub*
   std::unique_ptr<CosimKernel> hw_;
   std::unique_ptr<board::BoardHost> host_;

@@ -36,6 +36,8 @@
 #include "vhp/board/board.hpp"
 #include "vhp/cosim/driver_port.hpp"
 #include "vhp/fabric/sync_coordinator.hpp"
+#include "vhp/fault/plan.hpp"
+#include "vhp/fault/reliable.hpp"
 #include "vhp/net/channel.hpp"
 #include "vhp/obs/hub.hpp"
 #include "vhp/sim/kernel.hpp"
@@ -67,6 +69,17 @@ struct FabricConfig {
   Transport transport = Transport::kInProc;
   /// Barrier straggler watchdog (SyncConfig::watchdog).
   std::chrono::milliseconds watchdog{10000};
+  /// Graceful degradation (SyncConfig::evict_after_misses): a node missing
+  /// this many consecutive watchdog intervals is evicted and the survivors
+  /// keep simulating. 0 keeps fail-fast.
+  u32 evict_after_misses = 0;
+  /// Deterministic fault injection on every node's link (hw side); an empty
+  /// plan is zero-hop. A plan that can lose or mutate frames requires
+  /// recovery.enabled.
+  fault::FaultPlan fault_plan{};
+  /// Link-level recovery (sequence numbers, ack/retransmit) on both sides
+  /// of every link.
+  fault::RecoveryConfig recovery{};
   /// Send SHUTDOWN to every node on finish().
   bool shutdown_on_finish = true;
   /// Applied to the master hub and every node hub alike.
@@ -110,6 +123,22 @@ class FabricConfigBuilder {
   }
   FabricConfigBuilder& watchdog(std::chrono::milliseconds bound) {
     config_.watchdog = bound;
+    return *this;
+  }
+  FabricConfigBuilder& evict_after(u32 misses) {
+    config_.evict_after_misses = misses;
+    return *this;
+  }
+  FabricConfigBuilder& fault_plan(fault::FaultPlan plan) {
+    config_.fault_plan = std::move(plan);
+    return *this;
+  }
+  FabricConfigBuilder& recovery(fault::RecoveryConfig recovery_config) {
+    config_.recovery = recovery_config;
+    return *this;
+  }
+  FabricConfigBuilder& recover(bool on = true) {
+    config_.recovery.enabled = on;
     return *this;
   }
   FabricConfigBuilder& observability(bool on = true) {
@@ -179,6 +208,26 @@ class Fabric {
 
   [[nodiscard]] SyncCoordinator& coordinator() { return *coordinator_; }
 
+  /// Eviction state (SyncConfig::evict_after_misses): is node i still in the
+  /// barrier, and how many nodes are.
+  [[nodiscard]] bool node_alive(std::size_t node) const {
+    return coordinator_->alive(node);
+  }
+  [[nodiscard]] std::size_t alive_nodes() const {
+    return coordinator_->alive_count();
+  }
+
+  /// Re-admits an evicted node at the current cycle (SyncCoordinator::rejoin
+  /// — the returning party must announce itself with a TIME_ACK).
+  Status rejoin_node(std::size_t node) {
+    return coordinator_->rejoin(node, cycle_);
+  }
+
+  /// The compiled fault schedule; nullptr when the plan is unarmed.
+  [[nodiscard]] fault::FaultSchedule* fault_schedule() {
+    return schedule_.get();
+  }
+
   /// Registers `line` of the master model as node i's interrupt source.
   void watch_interrupt(std::size_t node, sim::BoolSignal& line, u32 vector);
 
@@ -239,6 +288,7 @@ class Fabric {
   FabricConfig config_;
   Logger log_{"fabric"};
 
+  std::shared_ptr<fault::FaultSchedule> schedule_;  // null when unarmed
   std::unique_ptr<obs::Hub> hub_;  // master side
   std::vector<std::unique_ptr<Node>> nodes_;
 

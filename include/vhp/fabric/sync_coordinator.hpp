@@ -44,6 +44,11 @@ struct SyncConfig {
   /// the barrier reports *which* nodes were still pending instead of
   /// hanging the whole fabric. Zero disables the watchdog.
   std::chrono::milliseconds watchdog{10000};
+  /// Graceful degradation: a node that trips the watchdog this many
+  /// consecutive times is *evicted* — dropped from the barrier so the
+  /// survivors keep simulating — instead of failing the whole fabric.
+  /// 0 keeps the legacy fail-fast behavior. Requires a nonzero watchdog.
+  u32 evict_after_misses = 0;
 
   /// Quantum of `node` after overrides.
   [[nodiscard]] u64 quantum(std::size_t node) const {
@@ -92,13 +97,28 @@ class SyncCoordinator {
   /// watchdog expiry returns kDeadlineExceeded naming the pending nodes.
   Status run_barrier(u64 cycle, const std::function<Status()>& service = {});
 
-  /// Sends SHUTDOWN on every node's CLOCK channel (best effort).
+  /// Sends SHUTDOWN on every live node's CLOCK channel (best effort).
   void shutdown();
 
-  /// Barriers completed / ticks scattered / acks gathered.
+  /// Eviction state (see SyncConfig::evict_after_misses).
+  [[nodiscard]] bool alive(std::size_t node) const {
+    return node < nodes_.size() && nodes_[node].alive;
+  }
+  [[nodiscard]] std::size_t alive_count() const;
+
+  /// Re-admits an evicted node at the master's current `cycle`: waits (under
+  /// the watchdog) for a fresh TIME_ACK on its CLOCK channel — the returning
+  /// party announces itself frozen, exactly like the boot handshake — then
+  /// schedules its next grant one quantum out. kFailedPrecondition if the
+  /// node is alive.
+  Status rejoin(std::size_t node, u64 cycle);
+
+  /// Barriers completed / ticks scattered / acks gathered / evictions.
   [[nodiscard]] u64 barriers() const { return barriers_.value(); }
   [[nodiscard]] u64 ticks_sent() const { return ticks_sent_.value(); }
   [[nodiscard]] u64 acks_received() const { return acks_received_.value(); }
+  [[nodiscard]] u64 evictions() const { return evictions_.value(); }
+  [[nodiscard]] u64 rejoins() const { return rejoins_.value(); }
 
  private:
   struct Node {
@@ -108,7 +128,12 @@ class SyncCoordinator {
     u64 last_granted = 0;  // cycle of the previous grant
     u64 next_due;          // last_granted + quantum
     obs::Counter& acks;    // fabric.<name>.acks
+    bool alive = true;     // false once evicted
+    u32 missed = 0;        // consecutive watchdog expiries while pending
   };
+
+  /// Marks the node dead and reports it (fabric.node_evicted).
+  void evict_node(std::size_t index, std::string_view why);
 
   /// Waits for one TIME_ACK from each node in `pending` (indices into
   /// nodes_), interleaving `service`, under the watchdog.
@@ -124,6 +149,8 @@ class SyncCoordinator {
   obs::Counter& barriers_;
   obs::Counter& ticks_sent_;
   obs::Counter& acks_received_;
+  obs::Counter& evictions_;
+  obs::Counter& rejoins_;
   obs::LatencyHistogram& barrier_wait_ns_;
 
   std::vector<Node> nodes_;

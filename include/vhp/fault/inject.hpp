@@ -1,0 +1,35 @@
+// Fault-injecting channel decorator (DESIGN.md §9).
+//
+// Wraps ONE side of a link — by convention the hw/master side — and applies
+// the compiled FaultSchedule's verdicts to both directions: kTx faults on
+// the send path (hw -> board), kRx faults on the receive path (board -> hw).
+// Wrapping a single side keeps every lane's frame counter in one place, so
+// a plan's decisions are a pure function of the frame sequence.
+//
+// Composes with the other decorators; the canonical stack (innermost
+// first) is: transport -> emulate_latency -> fault::inject -> fault::reliable
+// -> instrument_channel -> record_channel. Injecting *below* the recovery
+// layer means faults hit the recovery protocol's wire frames — exactly what
+// a lossy network would do — and the layers above only ever see repaired
+// traffic. Zero-hop: a null or unarmed schedule returns `inner` unchanged.
+#pragma once
+
+#include <memory>
+
+#include "vhp/fault/plan.hpp"
+#include "vhp/net/channel.hpp"
+
+namespace vhp::fault {
+
+/// Decorates one channel endpoint. `port`/`node` name the lane for the
+/// schedule's bookkeeping.
+[[nodiscard]] net::ChannelPtr inject(net::ChannelPtr inner,
+                                     std::shared_ptr<FaultSchedule> schedule,
+                                     obs::LinkPort port, u32 node = 0);
+
+/// Decorates all three ports of one link side.
+[[nodiscard]] net::CosimLink inject_link(
+    net::CosimLink link, std::shared_ptr<FaultSchedule> schedule,
+    u32 node = 0);
+
+}  // namespace vhp::fault

@@ -37,4 +37,31 @@ class TcpLinkListener {
 /// Client (board) side: connects to the three ports on 127.0.0.1.
 [[nodiscard]] Result<CosimLink> connect_tcp_link(std::array<u16, 3> ports);
 
+/// Single-port variant: binds one ephemeral loopback port and accepts any
+/// number of peers over its lifetime — the reconnect path of the fault
+/// recovery layer re-accepts on the same port after a transport loss.
+class TcpListener {
+ public:
+  /// Binds and listens; throws std::system_error on resource exhaustion.
+  TcpListener();
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] u16 port() const { return port_; }
+
+  /// Accepts the next peer, waiting up to `timeout` (forever if nullopt);
+  /// kDeadlineExceeded when none arrived in time.
+  [[nodiscard]] Result<ChannelPtr> accept(
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
+ private:
+  int listen_fd_ = -1;
+  u16 port_ = 0;
+};
+
+/// Connects one channel to a loopback port (a TcpListener's, usually).
+[[nodiscard]] Result<ChannelPtr> connect_tcp_channel(u16 port);
+
 }  // namespace vhp::net

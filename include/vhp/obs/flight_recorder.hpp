@@ -41,6 +41,12 @@ enum class LinkDir : u8 { kTx = 0, kRx = 1 };
 /// One recorded frame. `payload` holds at most the configured cap;
 /// `payload_size` and `digest` (CRC-32 of the full frame) always describe
 /// the complete original, so truncated records still compare.
+/// FrameRecord::flags bit: the record is a synthetic fault marker stamped by
+/// the fault injector (vhp::fault), not a frame that crossed the link. Its
+/// payload names the injected fault kind. Divergence checking skips flagged
+/// records so injected loss is never mistaken for real divergence.
+inline constexpr u8 kFrameFlagInjected = 1u << 0;
+
 struct FrameRecord {
   u64 seq = 0;        // per-side monotone sequence, global across ports
   LinkPort port = LinkPort::kData;
@@ -50,6 +56,9 @@ struct FrameRecord {
   /// binary writer only switches to the node-carrying format when a
   /// nonzero node appears).
   u32 node = 0;
+  /// kFrameFlag* bits; 0 for ordinary frames. Nonzero flags switch the
+  /// binary writer to the V3 format (same byte-compatibility rule as node).
+  u8 flags = 0;
   u8 msg_type = 0;    // first body byte (net::MsgType), 0 for empty frames
   bool truncated = false;
   u64 hw_cycle = 0;   // HW virtual time at record (kernel side)
@@ -95,6 +104,13 @@ class FlightRecorder {
   /// records everything as node 0.
   void record(LinkPort port, LinkDir dir, std::span<const u8> frame,
               u32 node = 0);
+
+  /// Appends a synthetic fault marker (kFrameFlagInjected) naming an
+  /// injected fault, so recordings distinguish injected loss from real
+  /// divergence. `kind` is the fault kind name ("drop", "reorder", ...),
+  /// stored as the marker's payload. No-op when disabled.
+  void note_fault(LinkPort port, LinkDir dir, std::string_view kind,
+                  u32 node = 0);
 
   /// Frames ever recorded / evicted by ring wrap-around.
   [[nodiscard]] u64 recorded() const;

@@ -27,4 +27,12 @@ ctest --preset default -L fabric "$@"
 echo "==== [fabric] tsan gate ===="
 ctest --preset tsan -L fabric-tsan "$@"
 
+# Fault gate, same shape: the chaos soaks and fault unit suites on the
+# release build (-L fault matches "fault" and "fault-tsan"), then the
+# fiber-free fault suite again under ThreadSanitizer.
+echo "==== [fault] release gate ===="
+ctest --preset default -L fault "$@"
+echo "==== [fault] tsan gate ===="
+ctest --preset tsan -L fault-tsan "$@"
+
 echo "All presets passed."

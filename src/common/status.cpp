@@ -13,6 +13,7 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kConnectionReset: return "CONNECTION_RESET";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

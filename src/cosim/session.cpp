@@ -8,6 +8,7 @@
 
 #include "vhp/common/format.hpp"
 #include "vhp/common/log.hpp"
+#include "vhp/fault/inject.hpp"
 #include "vhp/net/inproc.hpp"
 #include "vhp/net/instrumented.hpp"
 #include "vhp/net/latency.hpp"
@@ -69,6 +70,12 @@ Status SessionConfig::validate() const {
     return Status{StatusCode::kInvalidArgument,
                   "SessionConfig: board.cycles_per_sim_cycle must be > 0"};
   }
+  if (s = fault_plan.validate(); !s.ok()) return s;
+  if (fault_plan.armed() && !fault_plan.lossless() && !recovery.enabled) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SessionConfig: the fault plan can lose or mutate frames; "
+                  "enable the recovery layer (recovery.enabled)"};
+  }
   return Status::Ok();
 }
 
@@ -106,6 +113,24 @@ CosimSession::CosimSession(SessionConfig config) : config_(std::move(config)) {
     pair.board = std::move(board_link).value();
   }
   pair = net::emulate_latency(std::move(pair), config_.link_emulation);
+  // Canonical decorator stack (innermost first): transport -> latency ->
+  // inject (hw side only) -> reliable (both sides) -> instrument -> record.
+  // The recorder sits above the recovery layer, so it only ever sees
+  // repaired traffic — a faulted run's recording matches the clean one.
+  schedule_ = fault::compile(config_.fault_plan, hub_.get());
+  if (schedule_) {
+    schedule_->set_observer([hub = hub_.get()](const fault::FaultEvent& e) {
+      hub->hw_recorder().note_fault(e.port, e.dir, fault::to_string(e.kind),
+                                    e.node);
+    });
+    pair.hw = fault::inject_link(std::move(pair.hw), schedule_);
+  }
+  if (config_.recovery.enabled) {
+    pair.hw = fault::reliable_link(std::move(pair.hw), config_.recovery,
+                                   hub_.get(), "hw");
+    pair.board = fault::reliable_link(std::move(pair.board), config_.recovery,
+                                      hub_.get(), "board");
+  }
   if (hub_->enabled()) {
     // Per-frame link accounting costs a virtual hop per operation; wrap the
     // transports only when observability is on.

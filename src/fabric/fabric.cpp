@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "vhp/common/format.hpp"
+#include "vhp/fault/inject.hpp"
 #include "vhp/net/fanout.hpp"
 #include "vhp/net/instrumented.hpp"
 #include "vhp/obs/recording.hpp"
@@ -36,6 +37,16 @@ Status FabricConfig::validate() const {
   if (data_poll_interval == 0) {
     return Status{StatusCode::kInvalidArgument,
                   "FabricConfig: data_poll_interval must be > 0"};
+  }
+  if (evict_after_misses > 0 && watchdog.count() == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "FabricConfig: eviction needs a nonzero watchdog"};
+  }
+  if (Status s = fault_plan.validate(); !s.ok()) return s;
+  if (fault_plan.armed() && !fault_plan.lossless() && !recovery.enabled) {
+    return Status{StatusCode::kInvalidArgument,
+                  "FabricConfig: the fault plan can lose or mutate frames; "
+                  "enable the recovery layer (recovery.enabled)"};
   }
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const FabricNodeConfig& node = nodes[i];
@@ -118,6 +129,17 @@ Fabric::Fabric(FabricConfig config)
   Status valid = config_.validate();
   if (!valid.ok()) throw std::invalid_argument(valid.to_string());
 
+  schedule_ = fault::compile(config_.fault_plan, hub_.get());
+  if (schedule_) {
+    // Injected faults land as flagged marker frames in the master recording,
+    // so vhptrace and the divergence checker can tell injected loss from
+    // real divergence.
+    schedule_->set_observer([this](const fault::FaultEvent& e) {
+      hub_->hw_recorder().note_fault(e.port, e.dir, fault::to_string(e.kind),
+                                     e.node);
+    });
+  }
+
   const std::size_t n = config_.nodes.size();
   std::vector<net::LinkPair> links;
   if (config_.transport == Transport::kInProc) {
@@ -143,6 +165,21 @@ Fabric::Fabric(FabricConfig config)
 
     net::CosimLink hw_side = std::move(links[i].hw);
     net::CosimLink board_side = std::move(links[i].board);
+    // Canonical decorator stack (innermost first): transport -> inject
+    // (hw side only) -> reliable (both sides) -> instrument -> record.
+    // The recorder sits above the recovery layer, so it only ever sees
+    // repaired traffic — a faulted run's recording matches the clean one.
+    const u32 node_id = static_cast<u32>(i);
+    if (schedule_) {
+      hw_side = fault::inject_link(std::move(hw_side), schedule_, node_id);
+    }
+    if (config_.recovery.enabled) {
+      hw_side = fault::reliable_link(std::move(hw_side), config_.recovery,
+                                     hub_.get(), "hw." + name);
+      board_side = fault::reliable_link(std::move(board_side),
+                                        config_.recovery, node->hub.get(),
+                                        "board");
+    }
     if (hub_->enabled()) {
       hw_side = net::instrument_link(std::move(hw_side), *hub_,
                                      "hw." + name);
@@ -154,7 +191,6 @@ Fabric::Fabric(FabricConfig config)
     // The master records every node's link into ONE ring, each frame
     // stamped with its node id — the merged recording diffs and replays
     // per node. Each board records its own side into its node hub.
-    const u32 node_id = static_cast<u32>(i);
     hw_side =
         net::record_link(std::move(hw_side), hub_->hw_recorder(), node_id);
     board_side = net::record_link(std::move(board_side),
@@ -189,6 +225,7 @@ Fabric::Fabric(FabricConfig config)
   SyncConfig sync;
   sync.t_sync = config_.t_sync;
   sync.watchdog = config_.watchdog;
+  sync.evict_after_misses = config_.evict_after_misses;
   sync.t_sync_overrides.reserve(n);
   std::vector<net::Channel*> clocks;
   std::vector<std::string> names;
@@ -267,7 +304,9 @@ Status Fabric::handshake() {
 }
 
 Status Fabric::service_data_ports() {
-  for (auto& node : nodes_) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = nodes_[i];
+    if (!coordinator_->alive(i)) continue;
     for (;;) {
       auto msg = net::try_recv_msg(*node->hw_link.data);
       if (!msg.ok()) {
@@ -293,7 +332,9 @@ Status Fabric::service_data_ports() {
 }
 
 Status Fabric::sample_interrupts() {
-  for (auto& node : nodes_) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = nodes_[i];
+    if (!coordinator_->alive(i)) continue;
     for (IntWatch& watch : node->watches) {
       const bool level = watch.line->read();
       if (level && !watch.prev) {
@@ -338,6 +379,17 @@ void Fabric::finish() {
   if (finished_) return;
   finished_ = true;
   if (config_.shutdown_on_finish) coordinator_->shutdown();
+  // An evicted node's board thread may still be blocked on its CLOCK
+  // channel: try a best-effort SHUTDOWN, then close our side so the peer
+  // wakes with an error and the host thread can be joined.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (coordinator_->alive(i)) continue;
+    Node& node = *nodes_[i];
+    (void)net::send_msg(*node.hw_link.clock, net::Shutdown{});
+    if (node.hw_link.data) node.hw_link.data->close();
+    if (node.hw_link.intr) node.hw_link.intr->close();
+    if (node.hw_link.clock) node.hw_link.clock->close();
+  }
   for (auto& node : nodes_) {
     if (node->host) node->host->join();
   }

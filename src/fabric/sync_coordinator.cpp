@@ -18,6 +18,10 @@ Status SyncConfig::validate(std::size_t n_nodes) const {
                     strformat("SyncConfig: node {} quantum is 0", i)};
     }
   }
+  if (evict_after_misses > 0 && watchdog.count() == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SyncConfig: eviction needs a nonzero watchdog"};
+  }
   return Status::Ok();
 }
 
@@ -32,6 +36,8 @@ SyncCoordinator::SyncCoordinator(SyncConfig config,
       barriers_(hub_->metrics().counter("fabric.barriers")),
       ticks_sent_(hub_->metrics().counter("fabric.ticks_sent")),
       acks_received_(hub_->metrics().counter("fabric.acks_received")),
+      evictions_(hub_->metrics().counter("fabric.node_evicted")),
+      rejoins_(hub_->metrics().counter("fabric.node_rejoined")),
       barrier_wait_ns_(hub_->metrics().histogram("fabric.barrier_wait_ns")) {
   if (!config_status_.ok()) {
     log_.warn("invalid config: {}", config_status_.to_string());
@@ -62,8 +68,66 @@ Status SyncCoordinator::handshake() {
 
 u64 SyncCoordinator::next_due() const {
   u64 due = ~u64{0};
-  for (const Node& node : nodes_) due = std::min(due, node.next_due);
+  for (const Node& node : nodes_) {
+    if (node.alive) due = std::min(due, node.next_due);
+  }
   return due;
+}
+
+std::size_t SyncCoordinator::alive_count() const {
+  std::size_t n = 0;
+  for (const Node& node : nodes_) n += node.alive ? 1 : 0;
+  return n;
+}
+
+void SyncCoordinator::evict_node(std::size_t index, std::string_view why) {
+  Node& node = nodes_[index];
+  node.alive = false;
+  evictions_.inc();
+  hub_->metrics().counter("fabric." + node.name + ".evicted").inc();
+  hub_->tracer().instant("fabric.node_evicted", "fabric", index, "node");
+  log_.warn("evicting {} (node {}): {}", node.name, index, why);
+}
+
+Status SyncCoordinator::rejoin(std::size_t index, u64 cycle) {
+  if (!config_status_.ok()) return config_status_;
+  if (index >= nodes_.size()) {
+    return Status{StatusCode::kOutOfRange,
+                  strformat("fabric: rejoin of unknown node {}", index)};
+  }
+  Node& node = nodes_[index];
+  if (node.alive) {
+    return Status{StatusCode::kFailedPrecondition,
+                  strformat("fabric: {} is not evicted", node.name)};
+  }
+  // The returning party announces itself frozen with a TIME_ACK, exactly
+  // like the boot handshake. Any ack counts — a stale one queued before the
+  // eviction only means the node had already checked in.
+  const auto timeout = config_.watchdog.count() > 0
+                           ? std::optional{config_.watchdog}
+                           : std::nullopt;
+  auto ack = net::recv_msg(*node.clock, timeout);
+  if (!ack.ok()) {
+    return Status{ack.status().code(),
+                  strformat("fabric: rejoin of {} failed: {}", node.name,
+                            ack.status().message())};
+  }
+  if (!std::holds_alternative<net::TimeAck>(ack.value())) {
+    return Status{StatusCode::kInternal,
+                  strformat("fabric: rejoin of {} expected TIME_ACK, got {}",
+                            node.name,
+                            net::to_string(net::type_of(ack.value())))};
+  }
+  node.alive = true;
+  node.missed = 0;
+  node.last_granted = cycle;
+  node.next_due = cycle + node.quantum;
+  node.acks.inc();
+  acks_received_.inc();
+  rejoins_.inc();
+  hub_->tracer().instant("fabric.node_rejoined", "fabric", index, "node");
+  log_.info("{} (node {}) rejoined at cycle {}", node.name, index, cycle);
+  return Status::Ok();
 }
 
 Status SyncCoordinator::run_barrier(u64 cycle,
@@ -79,11 +143,17 @@ Status SyncCoordinator::run_barrier(u64 cycle,
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& node = nodes_[i];
-    if (node.next_due > cycle) continue;
+    if (!node.alive || node.next_due > cycle) continue;
     const u64 elapsed = cycle - node.last_granted;
     Status s = net::send_msg(
         *node.clock, net::ClockTick{cycle, static_cast<u32>(elapsed)});
     if (!s.ok()) {
+      if (config_.evict_after_misses > 0) {
+        // Under the eviction policy a dead transport degrades like a
+        // straggler: drop the node, keep the survivors simulating.
+        evict_node(i, strformat("CLOCK_TICK failed: {}", s.message()));
+        continue;
+      }
       return Status{s.code(), strformat("fabric: CLOCK_TICK to {} failed: {}",
                                         node.name, s.message())};
     }
@@ -110,16 +180,24 @@ Status SyncCoordinator::run_barrier(u64 cycle,
 
 Status SyncCoordinator::gather(std::vector<std::size_t> pending,
                                const std::function<Status()>& service) {
-  const auto deadline =
-      config_.watchdog.count() > 0
-          ? std::chrono::steady_clock::now() + config_.watchdog
-          : std::chrono::steady_clock::time_point::max();
+  const auto wait_start = std::chrono::steady_clock::now();
+  auto deadline = config_.watchdog.count() > 0
+                      ? wait_start + config_.watchdog
+                      : std::chrono::steady_clock::time_point::max();
   while (!pending.empty()) {
     bool progressed = false;
     for (std::size_t p = 0; p < pending.size();) {
       Node& node = nodes_[pending[p]];
       auto ack = net::try_recv_msg(*node.clock);
       if (!ack.ok()) {
+        if (config_.evict_after_misses > 0) {
+          evict_node(pending[p], strformat("CLOCK channel failed: {}",
+                                           ack.status().message()));
+          pending[p] = pending.back();
+          pending.pop_back();
+          progressed = true;
+          continue;
+        }
         return Status{ack.status().code(),
                       strformat("fabric: CLOCK channel of {} failed: {}",
                                 node.name, ack.status().message())};
@@ -136,6 +214,7 @@ Status SyncCoordinator::gather(std::vector<std::size_t> pending,
       }
       acks_received_.inc();
       node.acks.inc();
+      node.missed = 0;
       pending[p] = pending.back();
       pending.pop_back();
       progressed = true;
@@ -146,19 +225,46 @@ Status SyncCoordinator::gather(std::vector<std::size_t> pending,
       if (!s.ok()) return s;
     }
     if (std::chrono::steady_clock::now() >= deadline) {
-      // The straggler report: name the nodes still missing so a wedged
-      // board is diagnosable from the Status alone.
-      std::string stragglers;
       std::sort(pending.begin(), pending.end());
+      if (config_.evict_after_misses > 0) {
+        // Graceful degradation: charge every straggler one miss, evict the
+        // ones that just reached the limit, and give the rest another
+        // watchdog interval. The barrier stays live for the survivors.
+        for (std::size_t p = 0; p < pending.size();) {
+          Node& node = nodes_[pending[p]];
+          if (++node.missed >= config_.evict_after_misses) {
+            evict_node(pending[p],
+                       strformat("missed {} consecutive barriers "
+                                 "(watchdog {} ms)",
+                                 node.missed, config_.watchdog.count()));
+            pending[p] = pending.back();
+            pending.pop_back();
+          } else {
+            ++p;
+          }
+        }
+        deadline += config_.watchdog;
+        continue;
+      }
+      // The straggler report: name the nodes still missing — with their
+      // quantum and last grant — so a wedged board is diagnosable from the
+      // Status alone.
+      const auto waited =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - wait_start);
+      std::string stragglers;
       for (std::size_t index : pending) {
         if (!stragglers.empty()) stragglers += ", ";
-        stragglers += strformat("{} (node {})", nodes_[index].name, index);
+        stragglers += strformat(
+            "{} (node {}, quantum {} cycles, last granted at cycle {})",
+            nodes_[index].name, index, nodes_[index].quantum,
+            nodes_[index].last_granted);
       }
       return Status{
           StatusCode::kDeadlineExceeded,
-          strformat("fabric: barrier watchdog ({} ms) expired waiting for "
-                    "TIME_ACK from {}",
-                    config_.watchdog.count(), stragglers)};
+          strformat("fabric: barrier watchdog expired after {} ms (bound {} "
+                    "ms) waiting for TIME_ACK from {}",
+                    waited.count(), config_.watchdog.count(), stragglers)};
     }
     if (!progressed) std::this_thread::yield();
   }
@@ -167,7 +273,9 @@ Status SyncCoordinator::gather(std::vector<std::size_t> pending,
 
 void SyncCoordinator::shutdown() {
   for (Node& node : nodes_) {
-    if (node.clock != nullptr) (void)net::send_msg(*node.clock, net::Shutdown{});
+    if (node.alive && node.clock != nullptr) {
+      (void)net::send_msg(*node.clock, net::Shutdown{});
+    }
   }
 }
 

@@ -60,7 +60,11 @@ class TcpChannel final : public Channel {
                                MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
-        if (errno == EPIPE || errno == ECONNRESET) {
+        if (errno == ECONNRESET) {
+          return Status{StatusCode::kConnectionReset,
+                        "connection reset by peer"};
+        }
+        if (errno == EPIPE) {
           return Status{StatusCode::kAborted, "peer closed"};
         }
         return errno_status(StatusCode::kUnavailable, "send");
@@ -140,6 +144,12 @@ class TcpChannel final : public Channel {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status{StatusCode::kDeadlineExceeded, ""};
       }
+      if (errno == ECONNRESET) {
+        // Typed so a recovery layer can tell an abortive reset (redialable)
+        // from an orderly shutdown.
+        return Status{StatusCode::kConnectionReset,
+                      "connection reset by peer"};
+      }
       return errno_status(StatusCode::kUnavailable, "recv");
     }
     if (n == 0) return Status{StatusCode::kAborted, "peer closed"};
@@ -197,6 +207,44 @@ Result<CosimLink> TcpLinkListener::accept_link() {
   }
   return CosimLink{std::move(chans[0]), std::move(chans[1]),
                    std::move(chans[2])};
+}
+
+TcpListener::TcpListener() {
+  listen_fd_ = make_listener(&port_);
+  kLog.debug("listening on {}", port_);
+}
+
+TcpListener::~TcpListener() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Result<ChannelPtr> TcpListener::accept(
+    std::optional<std::chrono::milliseconds> timeout) {
+  const int wait_ms =
+      timeout.has_value() ? static_cast<int>(timeout->count()) : -1;
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, wait_ms);
+  if (rc < 0) return errno_status(StatusCode::kUnavailable, "poll");
+  if (rc == 0) {
+    return Status{StatusCode::kDeadlineExceeded, "no connection"};
+  }
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return errno_status(StatusCode::kUnavailable, "accept");
+  return ChannelPtr{std::make_unique<TcpChannel>(fd)};
+}
+
+Result<ChannelPtr> connect_tcp_channel(u16 port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status(StatusCode::kUnavailable, "socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return errno_status(StatusCode::kUnavailable, "connect");
+  }
+  return ChannelPtr{std::make_unique<TcpChannel>(fd)};
 }
 
 Result<CosimLink> connect_tcp_link(std::array<u16, 3> ports) {

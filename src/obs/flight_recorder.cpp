@@ -53,6 +53,7 @@ void FlightRecorder::record(LinkPort port, LinkDir dir,
   slot.port = port;
   slot.dir = dir;
   slot.node = node;
+  slot.flags = 0;
   slot.msg_type = frame.empty() ? 0 : frame[0];
   slot.truncated = stored < frame.size();
   slot.hw_cycle = hw_time_ ? hw_time_() : 0;
@@ -62,6 +63,33 @@ void FlightRecorder::record(LinkPort port, LinkDir dir,
   slot.digest = crc32(frame);
   slot.payload.assign(frame.begin(),
                       frame.begin() + static_cast<std::ptrdiff_t>(stored));
+}
+
+void FlightRecorder::note_fault(LinkPort port, LinkDir dir,
+                                std::string_view kind, u32 node) {
+  if (!config_.enabled || ring_.empty()) return;
+  const u64 wall_ns = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  const auto* bytes = reinterpret_cast<const u8*>(kind.data());
+  const std::size_t stored =
+      std::min(kind.size(), config_.max_payload_bytes);
+  std::scoped_lock lock(mu_);
+  FrameRecord& slot = ring_[next_seq_ % ring_.size()];
+  slot.seq = next_seq_++;
+  slot.port = port;
+  slot.dir = dir;
+  slot.node = node;
+  slot.flags = kFrameFlagInjected;
+  slot.msg_type = 0;
+  slot.truncated = stored < kind.size();
+  slot.hw_cycle = hw_time_ ? hw_time_() : 0;
+  slot.board_tick = board_time_ ? board_time_() : 0;
+  slot.wall_ns = wall_ns;
+  slot.payload_size = static_cast<u32>(kind.size());
+  slot.digest = crc32({bytes, kind.size()});
+  slot.payload.assign(bytes, bytes + stored);
 }
 
 u64 FlightRecorder::recorded() const {

@@ -14,12 +14,14 @@ namespace vhp::obs {
 
 namespace {
 
-// Version 1 carries no per-frame node id; version 2 appends one. The writer
-// sticks to version 1 while every frame is node 0, so single-node (classic
-// two-party) recordings stay byte-identical to what older builds wrote and
-// read.
+// Version 1 carries no per-frame node id; version 2 appends one; version 3
+// appends a flags byte after the node (fault markers). The writer sticks to
+// the oldest version that can carry the data — version 1 while every frame
+// is node 0 and unflagged — so single-node (classic two-party) recordings
+// stay byte-identical to what older builds wrote and read.
 constexpr char kBinaryMagic[8] = {'V', 'H', 'P', 'R', 'E', 'C', '0', '1'};
 constexpr char kBinaryMagicV2[8] = {'V', 'H', 'P', 'R', 'E', 'C', '0', '2'};
+constexpr char kBinaryMagicV3[8] = {'V', 'H', 'P', 'R', 'E', 'C', '0', '3'};
 constexpr std::string_view kJsonlMagic = "{\"format\":\"vhp-recording\"";
 
 std::string to_hex(std::span<const u8> data) {
@@ -98,11 +100,13 @@ Status bad_file(const std::string& path, const std::string& what) {
 
 // --- binary encoding -------------------------------------------------------
 
-void encode_frame(ByteWriter& w, const FrameRecord& r, bool with_node) {
+void encode_frame(ByteWriter& w, const FrameRecord& r, bool with_node,
+                  bool with_flags) {
   w.u64v(r.seq);
   w.u8v(static_cast<u8>(r.port));
   w.u8v(static_cast<u8>(r.dir));
   if (with_node) w.u32v(r.node);
+  if (with_flags) w.u8v(r.flags);
   w.u8v(r.msg_type);
   w.u8v(r.truncated ? 1 : 0);
   w.u64v(r.hw_cycle);
@@ -113,11 +117,13 @@ void encode_frame(ByteWriter& w, const FrameRecord& r, bool with_node) {
   w.sized_bytes(r.payload);
 }
 
-bool decode_frame(ByteReader& r, FrameRecord& out, bool with_node) {
+bool decode_frame(ByteReader& r, FrameRecord& out, bool with_node,
+                  bool with_flags) {
   out.seq = r.u64v();
   const u8 port = r.u8v();
   const u8 dir = r.u8v();
   out.node = with_node ? r.u32v() : 0;
+  out.flags = with_flags ? r.u8v() : 0;
   out.msg_type = r.u8v();
   out.truncated = r.u8v() != 0;
   out.hw_cycle = r.u64v();
@@ -196,6 +202,7 @@ Result<Recording> read_jsonl(const std::string& path, std::istream& in) {
     r.port = *port;
     r.dir = *dir == "tx" ? LinkDir::kTx : LinkDir::kRx;
     r.node = static_cast<u32>(u64_value(line, "node").value_or(0));
+    r.flags = static_cast<u8>(u64_value(line, "flags").value_or(0));
     r.msg_type = static_cast<u8>(u64_value(line, "type").value_or(0));
     r.truncated = raw_value(line, "truncated").value_or("false") == "true";
     r.hw_cycle = u64_value(line, "hw_cycle").value_or(0);
@@ -221,8 +228,12 @@ Result<Recording> read_binary(const std::string& path, std::istream& in) {
                          data.size()}};
   Bytes magic = r.bytes(sizeof kBinaryMagic);
   bool with_node = false;
+  bool with_flags = false;
   if (r.ok() &&
-      std::equal(magic.begin(), magic.end(), std::begin(kBinaryMagicV2))) {
+      std::equal(magic.begin(), magic.end(), std::begin(kBinaryMagicV3))) {
+    with_node = with_flags = true;
+  } else if (r.ok() && std::equal(magic.begin(), magic.end(),
+                                  std::begin(kBinaryMagicV2))) {
     with_node = true;
   } else if (!r.ok() || !std::equal(magic.begin(), magic.end(),
                                     std::begin(kBinaryMagic))) {
@@ -243,7 +254,7 @@ Result<Recording> read_binary(const std::string& path, std::istream& in) {
   rec.frames.reserve(n_frames);
   for (u64 i = 0; i < n_frames; ++i) {
     FrameRecord frame;
-    if (!decode_frame(r, frame, with_node)) {
+    if (!decode_frame(r, frame, with_node, with_flags)) {
       return bad_file(path, strformat("truncated frame {}", i));
     }
     rec.frames.push_back(std::move(frame));
@@ -267,8 +278,10 @@ std::string frame_record_to_json(const FrameRecord& r) {
   std::ostringstream out;
   out << "{\"seq\":" << r.seq << ",\"port\":\"" << to_string(r.port)
       << "\",\"dir\":\"" << to_string(r.dir) << "\"";
-  // node 0 is implicit so single-node JSONL dumps keep their old shape.
+  // node 0 is implicit so single-node JSONL dumps keep their old shape;
+  // flags likewise (only fault markers carry them).
   if (r.node != 0) out << ",\"node\":" << r.node;
+  if (r.flags != 0) out << ",\"flags\":" << static_cast<unsigned>(r.flags);
   out << ",\"type\":" << static_cast<unsigned>(r.msg_type)
       << ",\"hw_cycle\":" << r.hw_cycle << ",\"board_tick\":" << r.board_tick
       << ",\"wall_ns\":" << r.wall_ns << ",\"size\":" << r.payload_size
@@ -288,13 +301,19 @@ Status write_recording(const std::string& path, const Recording& recording,
       f << frame_record_to_json(r) << "\n";
     }
   } else {
+    const bool with_flags =
+        std::any_of(recording.frames.begin(), recording.frames.end(),
+                    [](const FrameRecord& r) { return r.flags != 0; });
     const bool with_node =
+        with_flags ||
         std::any_of(recording.frames.begin(), recording.frames.end(),
                     [](const FrameRecord& r) { return r.node != 0; });
     Bytes out;
     ByteWriter w{out};
     w.bytes(std::span{reinterpret_cast<const u8*>(
-                          with_node ? kBinaryMagicV2 : kBinaryMagic),
+                          with_flags ? kBinaryMagicV3
+                                     : (with_node ? kBinaryMagicV2
+                                                  : kBinaryMagic)),
                       sizeof kBinaryMagic});
     w.sized_bytes(std::span{
         reinterpret_cast<const u8*>(recording.meta.side.data()),
@@ -308,7 +327,7 @@ Status write_recording(const std::string& path, const Recording& recording,
     }
     w.u64v(recording.frames.size());
     for (const FrameRecord& r : recording.frames) {
-      encode_frame(w, r, with_node);
+      encode_frame(w, r, with_node, with_flags);
     }
     f.write(reinterpret_cast<const char*>(out.data()),
             static_cast<std::streamsize>(out.size()));
@@ -383,6 +402,9 @@ DivergenceChecker::DivergenceChecker(const Recording& reference,
                                      FrameDiffFn diff)
     : diff_(diff) {
   for (const FrameRecord& r : reference.frames) {
+    // Fault markers are injector annotations, not link traffic: a faulted
+    // run must still match a clean reference (and vice versa).
+    if ((r.flags & kFrameFlagInjected) != 0) continue;
     queues_[queue_index(r.node, r.port, r.dir)].frames.push_back(r);
   }
 }
@@ -401,6 +423,7 @@ bool DivergenceChecker::check(LinkPort port, LinkDir dir,
 }
 
 bool DivergenceChecker::check(const FrameRecord& live) {
+  if ((live.flags & kFrameFlagInjected) != 0) return !divergence_.has_value();
   if (divergence_.has_value()) return false;
   Queue& queue = queues_[queue_index(live.node, live.port, live.dir)];
   if (queue.next >= queue.frames.size()) {
@@ -476,7 +499,12 @@ std::string recording_stats_text(const Recording& rec) {
   std::map<u8, u64> by_type;
   u64 first_ns = ~u64{0}, last_ns = 0;
   u64 max_hw_cycle = 0, max_board_tick = 0;
+  u64 injected = 0;
   for (const FrameRecord& r : rec.frames) {
+    if ((r.flags & kFrameFlagInjected) != 0) {
+      ++injected;
+      continue;
+    }
     auto& p = ports[static_cast<std::size_t>(r.port)];
     p.frames[static_cast<std::size_t>(r.dir)] += 1;
     p.bytes[static_cast<std::size_t>(r.dir)] += r.payload_size;
@@ -509,6 +537,7 @@ std::string recording_stats_text(const Recording& rec) {
     out << "msg type " << static_cast<unsigned>(type) << ": " << count
         << " frames\n";
   }
+  if (injected > 0) out << "injected fault markers: " << injected << "\n";
   if (!rec.frames.empty()) {
     out << "wall span: " << (last_ns - first_ns) / 1000 << " us\n";
     out << "virtual span: hw_cycle <= " << max_hw_cycle
@@ -531,9 +560,16 @@ std::string recording_to_chrome_json(const Recording& rec) {
   for (const FrameRecord& r : rec.frames) {
     if (!first) out << ",";
     first = false;
-    out << "{\"name\":\"" << to_string(r.port) << "." << to_string(r.dir)
-        << ".t" << static_cast<unsigned>(r.msg_type)
-        << "\",\"cat\":\"link\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+    const bool fault = (r.flags & kFrameFlagInjected) != 0;
+    out << "{\"name\":\"" << to_string(r.port) << "." << to_string(r.dir);
+    if (fault) {
+      out << ".fault."
+          << std::string(r.payload.begin(), r.payload.end());
+    } else {
+      out << ".t" << static_cast<unsigned>(r.msg_type);
+    }
+    out << "\",\"cat\":\"" << (fault ? "fault" : "link")
+        << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
         << (static_cast<unsigned>(r.port) + 1) << ",\"ts\":" << as_us(r.wall_ns)
         << ",\"args\":{\"seq\":" << r.seq << ",\"hw_cycle\":" << r.hw_cycle
         << ",\"board_tick\":" << r.board_tick << ",\"size\":" << r.payload_size

@@ -1,0 +1,199 @@
+// Chaos soak (ISSUE 5 satellite c): the router case study under seeded
+// fault plans must converge to the clean run's outcome bit-exactly.
+//
+// One clean two-party baseline per fault kind, then 10 fixed seeds of
+// {drop, reorder, delay, disconnect} plans with the recovery layer on. The
+// recovery protocol (vhp/fault/reliable.hpp) guarantees per-quantum
+// delivery, so a faulted run is indistinguishable at the application layer:
+// identical packet counts, identical final virtual time, and — checked once
+// with the flight recorder on — an identical hw-side frame recording
+// (injected-fault markers are annotations the divergence checker skips).
+//
+// Fiber-bound (real boards), so labeled "fault", not "fault-tsan".
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "vhp/cosim/session.hpp"
+#include "vhp/fault/plan.hpp"
+#include "vhp/net/replay.hpp"
+#include "vhp/obs/recording.hpp"
+#include "vhp/router/checksum_app.hpp"
+#include "vhp/router/testbench.hpp"
+
+namespace vhp::fault {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Scaled-down router workload (cf. fabric_session_test's baseline): small
+// enough for 41 runs per suite, big enough that every port forwards,
+// corrupts and drops traffic.
+constexpr u64 kTsync = 200;
+// Fixed virtual length for every run: identical grant sequences make the
+// recordings comparable frame for frame; drained is asserted separately.
+constexpr u64 kTotalCycles = 30000;
+
+router::TestbenchConfig testbench_config() {
+  router::TestbenchConfig tb_cfg;
+  tb_cfg.router.n_ports = 2;
+  tb_cfg.router.remote_checksum = true;
+  tb_cfg.router.buffer_depth = 4;
+  tb_cfg.packets_per_port = 2;
+  tb_cfg.gap_cycles = 800;
+  tb_cfg.payload_bytes = 8;
+  tb_cfg.corrupt_probability = 0.25;
+  return tb_cfg;
+}
+
+struct RunResult {
+  u64 emitted = 0;
+  u64 forwarded = 0;
+  u64 received = 0;
+  u64 dropped = 0;
+  u64 board_ticks = 0;
+  u64 injected = 0;
+  bool drained = false;
+  obs::Recording hw_recording;
+};
+
+/// One full co-simulated router run under `plan`. An unarmed plan with
+/// `recover` off is the clean baseline.
+RunResult run_router(const FaultPlan& plan, bool recover, bool record) {
+  cosim::SessionConfigBuilder builder;
+  builder.t_sync(kTsync).cycles_per_tick(10).postmortem_prefix("");
+  RecoveryConfig recovery;
+  recovery.enabled = recover;
+  recovery.rto = 2ms;  // tight timers keep 41 runs per suite fast
+  recovery.rto_max = 50ms;
+  builder.fault_plan(plan).recovery(recovery);
+  if (record) builder.record().record_ring(1u << 14);
+  cosim::CosimSession session{builder.build_or_throw()};
+
+  router::ChecksumAppConfig app_cfg;
+  app_cfg.cost_base = 20;
+  app_cfg.cost_per_byte = 1;
+  router::RouterTestbench tb{session.hw().kernel(), testbench_config(),
+                             &session.hw().registry()};
+  session.hw().watch_interrupt(tb.router().irq(),
+                               board::Board::kDeviceVector);
+  router::ChecksumApp app{session.board(), app_cfg};
+
+  session.start_board();
+  for (u64 cycles = 0; cycles < kTotalCycles; cycles += 500) {
+    EXPECT_TRUE(session.run_cycles(500).ok());
+  }
+  session.finish();
+
+  RunResult result;
+  result.emitted = tb.total_emitted();
+  result.forwarded = tb.router().stats().forwarded;
+  result.received = tb.total_received();
+  result.dropped = tb.router().stats().dropped_bad_checksum;
+  result.board_ticks = session.board().kernel().tick_count().value();
+  result.drained = tb.traffic_done();
+  if (session.fault_schedule() != nullptr) {
+    result.injected = session.fault_schedule()->injected();
+  }
+  if (record) {
+    result.hw_recording.meta.side = "hw";
+    result.hw_recording.frames = session.obs().hw_recorder().snapshot();
+  }
+  return result;
+}
+
+FaultPlan make_plan(FaultKind kind, u64 seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultRule rule;
+  rule.kind = kind;
+  switch (kind) {
+    case FaultKind::kDrop:
+      rule.probability = 0.05;
+      break;
+    case FaultKind::kReorder:
+      rule.probability = 0.05;
+      break;
+    case FaultKind::kDelay:
+      rule.probability = 0.2;
+      rule.delay = std::chrono::microseconds{200};
+      break;
+    case FaultKind::kDisconnect:
+      rule.probability = 0.01;
+      rule.burst = 5;
+      rule.max_events = 2;
+      break;
+    default:
+      ADD_FAILURE() << "unhandled kind in make_plan";
+  }
+  plan.add(rule);
+  return plan;
+}
+
+/// 10 fixed seeds of one fault kind vs the clean baseline: exact packet
+/// counts and exact final virtual time.
+void soak(FaultKind kind) {
+  const RunResult base = run_router(FaultPlan{}, /*recover=*/false,
+                                    /*record=*/false);
+  ASSERT_TRUE(base.drained) << "clean baseline did not drain";
+  ASSERT_GT(base.emitted, 0u);
+  ASSERT_GT(base.board_ticks, 0u);
+
+  for (u64 seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("kind=" + std::string(to_string(kind)) +
+                 " seed=" + std::to_string(seed));
+    const RunResult faulted =
+        run_router(make_plan(kind, seed), /*recover=*/true, /*record=*/false);
+    EXPECT_TRUE(faulted.drained);
+    EXPECT_EQ(faulted.emitted, base.emitted);
+    EXPECT_EQ(faulted.forwarded, base.forwarded);
+    EXPECT_EQ(faulted.received, base.received);
+    EXPECT_EQ(faulted.dropped, base.dropped);
+    EXPECT_EQ(faulted.board_ticks, base.board_ticks);
+  }
+}
+
+TEST(ChaosSoakTest, DropPlansConvergeToCleanBaseline) {
+  soak(FaultKind::kDrop);
+}
+
+TEST(ChaosSoakTest, ReorderPlansConvergeToCleanBaseline) {
+  soak(FaultKind::kReorder);
+}
+
+TEST(ChaosSoakTest, DelayPlansConvergeToCleanBaseline) {
+  soak(FaultKind::kDelay);
+}
+
+TEST(ChaosSoakTest, DisconnectReconnectPlansConvergeToCleanBaseline) {
+  soak(FaultKind::kDisconnect);
+}
+
+TEST(ChaosSoakTest, FaultedRecordingMatchesTheCleanRecording) {
+  // The strongest form of the convergence claim: the hw-side flight
+  // recording of a faulted run diffs clean against the baseline's, because
+  // the recorder sits above the recovery layer and only ever sees repaired
+  // traffic. Fault markers are present (proving faults fired) but skipped.
+  const RunResult base = run_router(FaultPlan{}, /*recover=*/false,
+                                    /*record=*/true);
+  const RunResult faulted = run_router(make_plan(FaultKind::kDrop, 7),
+                                       /*recover=*/true, /*record=*/true);
+  ASSERT_TRUE(base.drained);
+  ASSERT_TRUE(faulted.drained);
+  EXPECT_GT(faulted.injected, 0u);
+
+  std::size_t markers = 0;
+  for (const obs::FrameRecord& frame : faulted.hw_recording.frames) {
+    markers += (frame.flags & obs::kFrameFlagInjected) != 0 ? 1 : 0;
+  }
+  EXPECT_EQ(markers, faulted.injected);
+
+  const auto divergence = obs::diff_recordings(
+      base.hw_recording, faulted.hw_recording, &net::message_field_diff);
+  EXPECT_FALSE(divergence.has_value())
+      << "faulted run diverged: " << divergence->to_string();
+}
+
+}  // namespace
+}  // namespace vhp::fault

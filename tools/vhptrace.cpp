@@ -78,6 +78,17 @@ void keep_node(obs::Recording& rec, std::optional<u32> node) {
 /// payload is whole, the type/size/digest summary otherwise.
 std::string describe(const obs::FrameRecord& r) {
   std::string msg;
+  if ((r.flags & obs::kFrameFlagInjected) != 0) {
+    // Fault markers carry the fault kind's name as their payload; surface
+    // them as FAULT lines so injected loss is distinguishable from traffic.
+    const std::string kind{r.payload.begin(), r.payload.end()};
+    const std::string node =
+        r.node != 0 ? strformat("node={} ", r.node) : std::string{};
+    return strformat("{} {}{} {} hw_cycle={} board_tick={} FAULT {}", r.seq,
+                     node, obs::to_string(r.port), obs::to_string(r.dir),
+                     r.hw_cycle, r.board_tick,
+                     kind.empty() ? "?" : kind);
+  }
   if (!r.truncated) {
     auto decoded = net::decode(r.payload);
     if (decoded.ok()) {

@@ -41,6 +41,12 @@ struct BoardConfig {
   /// Untimed mode: no budget, no freeze/ack; the board free-runs
   /// (the Figure 6 baseline).
   bool free_running = false;
+  /// Adaptive synchronization (DESIGN.md §10): when set, every TIME_ACK
+  /// carries the board's lookahead (wire v2) — the earliest future master
+  /// sim-cycle at which the RTOS can next interact, derived from
+  /// Kernel::next_event_cycles(). Off by default so acks stay byte-identical
+  /// to the v1 wire format unless the master opted into adaptive mode.
+  bool advertise_lookahead = false;
 };
 
 class Board {

@@ -19,6 +19,7 @@
 #include "vhp/common/log.hpp"
 #include "vhp/common/status.hpp"
 #include "vhp/cosim/driver_port.hpp"
+#include "vhp/cosim/sync_policy.hpp"
 #include "vhp/net/channel.hpp"
 #include "vhp/obs/hub.hpp"
 #include "vhp/sim/kernel.hpp"
@@ -28,7 +29,13 @@ namespace vhp::cosim {
 
 struct CosimConfig {
   /// Synchronization interval in HW clock cycles (the paper's T_sync).
+  /// Deprecated shim: honored only while `sync` is unset.
   u64 t_sync = 1000;
+  /// The unified synchronization policy (ISSUE 6). When set it wins
+  /// wholesale over the legacy `t_sync` field and may enable adaptive
+  /// lookahead mode (pair with board::BoardConfig::advertise_lookahead;
+  /// CosimSession wires that automatically).
+  std::optional<SyncPolicy> sync;
   /// Simulation time units per clock cycle (posedge every period).
   sim::SimTime clock_period = 2;
   /// When true, run timed: exchange CLOCK_TICK/TIME_ACK. When false the
@@ -45,8 +52,16 @@ struct CosimConfig {
   /// bench/abl_data_poll).
   u64 data_poll_interval = 1;
 
+  /// The policy in effect: `sync` when set, else the legacy fields
+  /// repackaged (fixed mode at `t_sync`).
+  [[nodiscard]] SyncPolicy resolved_sync() const {
+    if (sync.has_value()) return *sync;
+    return SyncPolicy{}.quantum(t_sync);
+  }
+
   /// Rejects configurations that would divide by zero or stall the protocol
-  /// (t_sync == 0 in timed mode, zero clock_period / data_poll_interval).
+  /// (t_sync == 0 in timed mode, zero clock_period / data_poll_interval,
+  /// an invalid `sync` policy).
   [[nodiscard]] Status validate() const;
 };
 
@@ -85,6 +100,15 @@ class CosimKernel {
   /// Current cycle count (completed cycles).
   [[nodiscard]] u64 cycle() const { return cycle_; }
 
+  /// The policy in effect and the adaptive state: the cycle of the next
+  /// CLOCK_TICK and the lookahead from the board's latest TIME_ACK
+  /// (nullopt before the handshake or against a v1 board).
+  [[nodiscard]] const SyncPolicy& sync_policy() const { return policy_; }
+  [[nodiscard]] u64 next_sync() const { return next_sync_; }
+  [[nodiscard]] std::optional<u64> board_lookahead() const {
+    return board_lookahead_;
+  }
+
   /// Ends the co-simulation (sends SHUTDOWN if configured).
   void finish();
 
@@ -115,6 +139,8 @@ class CosimKernel {
   /// Sends CLOCK_TICK and blocks for TIME_ACK, servicing DATA meanwhile.
   Status sync_with_board();
   Status sample_interrupts();
+  /// Captures a TIME_ACK's lookahead (adaptive state + cosim.lookahead_acks).
+  void note_ack(const net::TimeAck& ack);
 
   net::CosimLink link_;
   CosimConfig config_;
@@ -129,12 +155,19 @@ class CosimKernel {
   obs::Counter& data_reads_;
   obs::Counter& interrupts_sent_;
   obs::Counter& acks_received_;
+  obs::Counter& lookahead_acks_;
   obs::LatencyHistogram& sync_rtt_ns_;
+  obs::LatencyHistogram& grant_cycles_;
 
   sim::Kernel kernel_;
   sim::Clock clock_;
   DriverRegistry registry_;
   std::vector<IntWatch> watches_;
+
+  SyncPolicy policy_;           // config_.resolved_sync()
+  u64 last_granted_ = 0;        // cycle of the previous CLOCK_TICK
+  u64 next_sync_ = 0;           // cycle of the next CLOCK_TICK
+  std::optional<u64> board_lookahead_;  // from the latest TIME_ACK
 
   u64 cycle_ = 0;
   bool handshaken_ = false;

@@ -81,6 +81,13 @@ class SessionConfigBuilder {
     config_.cosim.t_sync = cycles;
     return *this;
   }
+  /// The unified knob-set (CosimConfig::sync); wins over t_sync()
+  /// wholesale. An adaptive policy automatically configures the board to
+  /// advertise its lookahead (wire v2 acks).
+  SessionConfigBuilder& sync(SyncPolicy policy) {
+    config_.cosim.sync = std::move(policy);
+    return *this;
+  }
   SessionConfigBuilder& clock_period(sim::SimTime period) {
     config_.cosim.clock_period = period;
     return *this;

@@ -61,17 +61,26 @@ struct FabricNodeConfig {
 
 struct FabricConfig {
   /// Default synchronization quantum in HW clock cycles (the paper's
-  /// T_sync), overridable per node.
+  /// T_sync), overridable per node. Deprecated shim: honored only while
+  /// `sync` is unset.
   u64 t_sync = 1000;
+  /// The unified synchronization policy (ISSUE 6). When set it wins
+  /// wholesale over the legacy t_sync/watchdog/evict_after_misses fields
+  /// (per-node FabricNodeConfig::t_sync overrides still apply) and may
+  /// enable adaptive lookahead mode — every non-external board is then
+  /// configured to advertise its lookahead (wire v2 acks).
+  std::optional<cosim::SyncPolicy> sync;
   sim::SimTime clock_period = 2;
   /// Poll each node's DATA port every this many cycles (as CosimConfig).
   u64 data_poll_interval = 1;
   Transport transport = Transport::kInProc;
-  /// Barrier straggler watchdog (SyncConfig::watchdog).
+  /// Barrier straggler watchdog (SyncConfig::watchdog). Deprecated shim:
+  /// honored only while `sync` is unset.
   std::chrono::milliseconds watchdog{10000};
   /// Graceful degradation (SyncConfig::evict_after_misses): a node missing
   /// this many consecutive watchdog intervals is evicted and the survivors
-  /// keep simulating. 0 keeps fail-fast.
+  /// keep simulating. 0 keeps fail-fast. Deprecated shim: honored only
+  /// while `sync` is unset.
   u32 evict_after_misses = 0;
   /// Deterministic fault injection on every node's link (hw side); an empty
   /// plan is zero-hop. A plan that can lose or mutate frames requires
@@ -85,6 +94,10 @@ struct FabricConfig {
   /// Applied to the master hub and every node hub alike.
   obs::ObsConfig obs{};
   std::vector<FabricNodeConfig> nodes;
+
+  /// The policy in effect: `sync` when set, else the legacy fields
+  /// repackaged; per-node t_sync overrides apply either way.
+  [[nodiscard]] cosim::SyncPolicy resolved_sync() const;
 
   /// CosimConfig-style rules, per node: nonzero divisors, budgeted boards
   /// (a free-running board cannot take part in a barrier), at least one
@@ -111,6 +124,12 @@ class FabricConfigBuilder {
 
   FabricConfigBuilder& t_sync(u64 cycles) {
     config_.t_sync = cycles;
+    return *this;
+  }
+  /// The unified knob-set (FabricConfig::sync); wins over t_sync()/
+  /// watchdog()/evict_after() wholesale.
+  FabricConfigBuilder& sync(cosim::SyncPolicy policy) {
+    config_.sync = std::move(policy);
     return *this;
   }
   FabricConfigBuilder& clock_period(sim::SimTime period) {

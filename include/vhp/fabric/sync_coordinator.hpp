@@ -15,6 +15,13 @@
 // pending due-cycle, which keeps the conservative bound tight per node
 // instead of forcing the fastest cadence on everyone.
 //
+// Adaptive mode (cosim::SyncPolicy::adaptive, DESIGN.md §10) varies each
+// node's quantum with the lookahead its TIME_ACKs advertise: after the
+// gather at cycle C, a node whose ack promises "nothing before cycle L"
+// is next due at C + max(min_quantum, min(L - C, max_quantum)). Nodes
+// answering with v1 acks (no lookahead) keep their fixed cadence, so
+// adaptive and fixed parties mix freely in one barrier.
+//
 // The coordinator owns no transport: it is handed one CLOCK channel per node
 // (the fabric's, or a unit test's raw inproc pairs — the barrier logic is
 // fiber-free and runs under TSan).
@@ -23,16 +30,21 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "vhp/common/log.hpp"
 #include "vhp/common/status.hpp"
+#include "vhp/cosim/sync_policy.hpp"
 #include "vhp/net/channel.hpp"
 #include "vhp/obs/hub.hpp"
 
 namespace vhp::fabric {
 
+/// Deprecated shim: the pre-SyncPolicy knob set, kept so existing callers
+/// compile unchanged. New code should build a cosim::SyncPolicy (which also
+/// unlocks adaptive mode) and use the policy constructor below.
 struct SyncConfig {
   /// Default synchronization quantum, in HW clock cycles.
   u64 t_sync = 1000;
@@ -60,6 +72,10 @@ struct SyncConfig {
 
   /// Rejects a zero default quantum or an all-zero override set to nothing.
   [[nodiscard]] Status validate(std::size_t n_nodes) const;
+
+  /// The equivalent unified policy (fixed mode — SyncConfig predates the
+  /// adaptive machinery and cannot express it).
+  [[nodiscard]] cosim::SyncPolicy to_policy() const;
 };
 
 class SyncCoordinator {
@@ -68,7 +84,18 @@ class SyncCoordinator {
   /// caller keeps the links alive). `names[i]` labels node i in errors and
   /// logs — pass {} for "node0", "node1", ... `hub` may be nullptr
   /// (standalone unit tests); metrics then go to a private registry.
-  SyncCoordinator(SyncConfig config, std::vector<net::Channel*> clocks,
+  ///
+  /// With `policy.adaptive()`, each gathered TIME_ACK's lookahead re-bases
+  /// that node's next due-cycle to `cycle + policy.grant(...)` — a sleeping
+  /// node gets a long grant (up to max_quantum), a busy one keeps syncing
+  /// at min_quantum — while the conservative barrier argument is untouched:
+  /// a node still never observes simulated time beyond its grant.
+  SyncCoordinator(cosim::SyncPolicy policy, std::vector<net::Channel*> clocks,
+                  std::vector<std::string> names = {},
+                  obs::Hub* hub = nullptr);
+
+  /// Deprecated shim: accepts the legacy knob set (fixed mode only).
+  SyncCoordinator(const SyncConfig& config, std::vector<net::Channel*> clocks,
                   std::vector<std::string> names = {},
                   obs::Hub* hub = nullptr);
 
@@ -76,7 +103,10 @@ class SyncCoordinator {
   SyncCoordinator& operator=(const SyncCoordinator&) = delete;
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Deprecated shim: legacy view of the policy (lossy — adaptive knobs are
+  /// not representable). Prefer policy().
   [[nodiscard]] const SyncConfig& config() const { return config_; }
+  [[nodiscard]] const cosim::SyncPolicy& policy() const { return policy_; }
 
   /// Gathers every node's initial "frozen" TIME_ACK (the board reports it
   /// on boot). Must complete before the first barrier; the watchdog applies
@@ -119,15 +149,32 @@ class SyncCoordinator {
   [[nodiscard]] u64 acks_received() const { return acks_received_.value(); }
   [[nodiscard]] u64 evictions() const { return evictions_.value(); }
   [[nodiscard]] u64 rejoins() const { return rejoins_.value(); }
+  /// Acks that carried a lookahead (wire v2), and the subset advertising
+  /// "idle until data arrives" (kLookaheadUnbounded).
+  [[nodiscard]] u64 lookahead_acks() const { return lookahead_acks_.value(); }
+  [[nodiscard]] u64 lookahead_unbounded() const {
+    return lookahead_unbounded_.value();
+  }
+
+  /// Introspection (tests, vhptrace): node i's next due-cycle and the
+  /// lookahead from its latest TIME_ACK (nullopt: none advertised yet).
+  [[nodiscard]] u64 node_due(std::size_t node) const {
+    return nodes_[node].next_due;
+  }
+  [[nodiscard]] std::optional<u64> node_lookahead(std::size_t node) const {
+    return nodes_[node].lookahead;
+  }
 
  private:
   struct Node {
     net::Channel* clock;
     std::string name;
-    u64 quantum;
+    u64 quantum;           // fixed quantum (policy.node_quantum)
     u64 last_granted = 0;  // cycle of the previous grant
-    u64 next_due;          // last_granted + quantum
-    obs::Counter& acks;    // fabric.<name>.acks
+    u64 next_due;          // next barrier this node takes part in
+    std::optional<u64> lookahead;  // from the latest TIME_ACK
+    obs::Counter& acks;            // fabric.<name>.acks
+    obs::LatencyHistogram& grants; // fabric.<name>.grant_cycles
     bool alive = true;     // false once evicted
     u32 missed = 0;        // consecutive watchdog expiries while pending
   };
@@ -135,12 +182,16 @@ class SyncCoordinator {
   /// Marks the node dead and reports it (fabric.node_evicted).
   void evict_node(std::size_t index, std::string_view why);
 
+  /// Counts a gathered ack's lookahead (fabric.lookahead_*).
+  void note_lookahead(const std::optional<u64>& lookahead);
+
   /// Waits for one TIME_ACK from each node in `pending` (indices into
   /// nodes_), interleaving `service`, under the watchdog.
   Status gather(std::vector<std::size_t> pending,
                 const std::function<Status()>& service);
 
-  SyncConfig config_;
+  cosim::SyncPolicy policy_;
+  SyncConfig config_;  // legacy mirror of policy_, backs config()
   Status config_status_;
   Logger log_{"fabric"};
 
@@ -151,6 +202,8 @@ class SyncCoordinator {
   obs::Counter& acks_received_;
   obs::Counter& evictions_;
   obs::Counter& rejoins_;
+  obs::Counter& lookahead_acks_;
+  obs::Counter& lookahead_unbounded_;
   obs::LatencyHistogram& barrier_wait_ns_;
 
   std::vector<Node> nodes_;

@@ -7,6 +7,7 @@
 // Each message is a tagged, length-framed, little-endian record.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <variant>
 
@@ -63,9 +64,23 @@ struct ClockTick {
   bool operator==(const ClockTick&) const = default;
 };
 
+/// TimeAck::lookahead value for "idle until data arrives": the board has no
+/// future event of its own scheduled.
+inline constexpr u64 kLookaheadUnbounded = ~u64{0};
+
 /// Board answer: it consumed its tick budget and froze at `board_tick`.
+///
+/// Wire v2 (adaptive synchronization, DESIGN.md §10): the ack optionally
+/// carries the board's *lookahead* — the earliest future master sim-cycle at
+/// which it can next interact (next RTOS timer expiry, or kLookaheadUnbounded
+/// when idle until data arrives). Encoding is versioned by length, like the
+/// VHPREC02 recording format: a v1 ack (no lookahead) is byte-identical to
+/// the old format, and a v1 decoder never sees the extra field unless the
+/// sender advertises — so mixed-version peers interoperate as long as
+/// adaptive mode is only enabled against v2 boards.
 struct TimeAck {
   u64 board_tick = 0;
+  std::optional<u64> lookahead = std::nullopt;
   bool operator==(const TimeAck&) const = default;
 };
 

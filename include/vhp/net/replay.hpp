@@ -33,6 +33,14 @@ namespace vhp::net {
 [[nodiscard]] std::string message_field_diff(const obs::FrameRecord& expected,
                                              const obs::FrameRecord& actual);
 
+/// Per-node synchronization summary of a recording's CLOCK traffic: grant
+/// count and size distribution (min/mean/max cycles per CLOCK_TICK) and how
+/// many TIME_ACKs advertised a lookahead (wire v2) — the quickest way to see
+/// whether, and how far, an adaptive run actually stretched its quanta.
+/// Lives here rather than in vhp::obs because decoding frames needs the
+/// protocol codec. Empty string when the recording holds no CLOCK frames.
+[[nodiscard]] std::string grant_stats_text(const obs::Recording& recording);
+
 struct ReplayOptions {
   /// The live side's virtual clock (CosimKernel::cycle or the board's tick
   /// count). Unset disables the virtual-time gate; causality still holds.

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -90,8 +91,11 @@ class Kernel {
 
   /// Models `cycles` of CPU work by the current thread. Preemption point:
   /// ticks fire inside, other threads may run, and in budget mode the call
-  /// blocks while the OS is frozen waiting for a grant.
-  void consume(u64 cycles);
+  /// blocks while the OS is frozen waiting for a grant. Returns the cycles
+  /// actually consumed — less than `cycles` only for a communication/idle
+  /// thread bailing out on budget exhaustion (those never block on the
+  /// budget).
+  u64 consume(u64 cycles);
 
   /// Sleeps the current thread for `ticks` SW ticks of virtual time.
   void delay(SwTicks ticks);
@@ -110,6 +114,19 @@ class Kernel {
   /// Grants `cycles` of execution budget and thaws the OS into the normal
   /// state. Called by the board's systemc thread on CLOCK_TICK reception.
   void grant_cycles(u64 cycles);
+
+  /// Lookahead (adaptive synchronization, DESIGN.md §10): CPU cycles until
+  /// this kernel can next initiate an interaction, as seen at the current
+  /// freeze point. 0 when any application thread is runnable (or starved
+  /// mid-consume on the budget, or a DSR is pending) — work would continue
+  /// immediately on the next grant. Otherwise the distance to the earliest
+  /// pending alarm (delays, timeouts, app alarms). nullopt when no future
+  /// event exists at all: the board is idle until data arrives, and the
+  /// master may grant its maximum quantum. Conservative by construction —
+  /// it never *under*states how soon the board may act, and events injected
+  /// by the master itself (interrupts, DATA responses) don't count: the
+  /// master knows when it sends those.
+  [[nodiscard]] std::optional<u64> next_event_cycles() const;
 
   /// Invoked (once per freeze) when the budget is exhausted and the OS
   /// enters the idle state; receives the current board tick. The board

@@ -35,4 +35,18 @@ ctest --preset default -L fault "$@"
 echo "==== [fault] tsan gate ===="
 ctest --preset tsan -L fault-tsan "$@"
 
+# Adaptive synchronization gate (ISSUE 6), same shape: the SyncPolicy /
+# adaptive-coordinator and session parity suites (-L adaptive matches
+# "adaptive" and "adaptive-tsan"), the fiber-free half under
+# ThreadSanitizer, and the fabric_scale bench in --gate mode, which fails
+# if the adaptive mean barrier wait at N=8 regresses above the fixed
+# baseline.
+echo "==== [adaptive] release gate ===="
+ctest --preset default -L adaptive "$@"
+echo "==== [adaptive] tsan gate ===="
+ctest --preset tsan -L adaptive-tsan "$@"
+echo "==== [adaptive] bench gate ===="
+cmake --build --preset default -j "$jobs" --target fabric_scale
+./build/bench/fabric_scale --gate --inproc --json /tmp/fabric_scale_gate.metrics.json
+
 echo "All presets passed."

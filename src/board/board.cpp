@@ -1,5 +1,6 @@
 #include "vhp/board/board.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "vhp/common/format.hpp"
@@ -66,12 +67,28 @@ Board::Board(BoardConfig config, net::CosimLink link, obs::Hub* hub)
           }});
 
   // Freeze: the OS just entered the idle state; report our tick (TIME_ACK).
+  // Under adaptive synchronization the ack also advertises our lookahead in
+  // absolute master sim-cycles. The base is our own consumed CPU cycles
+  // (exactly the sum of all grants at a freeze point) divided by the
+  // cycles-per-sim-cycle ratio — the board's position on the master clock,
+  // independent of whether the master grants ahead of or up to its own
+  // cycle. The division floors, which can only *under*state the lookahead:
+  // conservative, never late.
   kernel_.set_freeze_callback([this](SwTicks tick) {
     acks_sent_.inc();
     if (hub_->tracer().enabled()) {
       hub_->tracer().instant("board.time_ack", "board", tick.value(), "tick");
     }
-    Status s = net::send_msg(*link_.clock, net::TimeAck{tick.value()});
+    net::TimeAck ack{tick.value()};
+    if (config_.advertise_lookahead) {
+      const u64 per_cycle = std::max<u64>(1, config_.cycles_per_sim_cycle);
+      if (const auto cpu = kernel_.next_event_cycles()) {
+        ack.lookahead = (kernel_.cycle_count() + *cpu) / per_cycle;
+      } else {
+        ack.lookahead = net::kLookaheadUnbounded;
+      }
+    }
+    Status s = net::send_msg(*link_.clock, ack);
     if (!s.ok()) log_.warn("TIME_ACK send failed: {}", s.to_string());
   });
 

@@ -7,9 +7,12 @@
 namespace vhp::cosim {
 
 Status CosimConfig::validate() const {
-  if (timed && t_sync == 0) {
+  if (timed && !sync.has_value() && t_sync == 0) {
     return Status{StatusCode::kInvalidArgument,
                   "CosimConfig: t_sync must be > 0 in timed mode"};
+  }
+  if (sync.has_value()) {
+    if (Status s = sync->validate(); !s.ok()) return s;
   }
   if (clock_period == 0) {
     return Status{StatusCode::kInvalidArgument,
@@ -33,14 +36,20 @@ CosimKernel::CosimKernel(net::CosimLink link, CosimConfig config,
       data_reads_(hub_->metrics().counter("cosim.data_reads")),
       interrupts_sent_(hub_->metrics().counter("cosim.interrupts_sent")),
       acks_received_(hub_->metrics().counter("cosim.acks_received")),
+      lookahead_acks_(hub_->metrics().counter("cosim.lookahead_acks")),
       sync_rtt_ns_(hub_->metrics().histogram("cosim.sync_rtt_ns")),
+      grant_cycles_(hub_->metrics().histogram("cosim.grant_cycles")),
       // Guard against a zero period before sim::Clock divides by it; the
       // invalid config is surfaced by run_cycles()/handshake().
       clock_(kernel_, "clk",
-             config.clock_period == 0 ? sim::SimTime{1} : config.clock_period) {
+             config.clock_period == 0 ? sim::SimTime{1} : config.clock_period),
+      policy_(config_.resolved_sync()) {
   if (!config_status_.ok()) {
     log_.warn("invalid config: {}", config_status_.to_string());
   }
+  // Fixed mode reproduces the legacy cadence exactly: the first tick goes
+  // out at `quantum`, every later one `quantum` after its predecessor.
+  next_sync_ = std::max<u64>(1, policy_.node_quantum(0));
 }
 
 CosimKernel::~CosimKernel() { finish(); }
@@ -57,15 +66,24 @@ Status CosimKernel::handshake(
   // not expected before it (the device driver has nothing to talk to yet).
   auto msg = net::recv_msg(*link_.clock, timeout);
   if (!msg.ok()) return msg.status();
-  if (!std::holds_alternative<net::TimeAck>(msg.value())) {
+  const auto* ack = std::get_if<net::TimeAck>(&msg.value());
+  if (ack == nullptr) {
     return Status{StatusCode::kInternal,
                   strformat("expected initial TIME_ACK, got {}",
                             net::to_string(net::type_of(msg.value())))};
   }
+  note_ack(*ack);
+  // The boot ack already carries a lookahead against a v2 board: a board
+  // that sleeps through the first default quantum gets a longer first grant.
+  next_sync_ = std::max<u64>(1, policy_.grant(0, 0, board_lookahead_));
   handshaken_ = true;
-  log_.debug("handshake complete, board frozen at tick {}",
-             std::get<net::TimeAck>(msg.value()).board_tick);
+  log_.debug("handshake complete, board frozen at tick {}", ack->board_tick);
   return Status::Ok();
+}
+
+void CosimKernel::note_ack(const net::TimeAck& ack) {
+  board_lookahead_ = ack.lookahead;
+  if (ack.lookahead.has_value()) lookahead_acks_.inc();
 }
 
 Status CosimKernel::service_data_port() {
@@ -119,21 +137,29 @@ Status CosimKernel::sync_with_board() {
   syncs_.inc();
   obs::Tracer& tracer = hub_->tracer();
   const u64 span_start = tracer.enabled() ? tracer.now_ns() : 0;
+  // The grant is the cycles elapsed since the previous tick — in fixed mode
+  // always the quantum, in adaptive mode whatever the last lookahead earned.
+  const u64 elapsed = cycle_ - last_granted_;
+  grant_cycles_.record_ns(elapsed);
   Status s = net::send_msg(
-      *link_.clock, net::ClockTick{cycle_, static_cast<u32>(config_.t_sync)});
+      *link_.clock, net::ClockTick{cycle_, static_cast<u32>(elapsed)});
   if (!s.ok()) return s;
+  last_granted_ = cycle_;
   // Wait for the ack; keep the DATA port alive so a board thread blocked on
   // a device read mid-quantum still gets its response (deadlock freedom).
   for (;;) {
     auto ack = net::try_recv_msg(*link_.clock);
     if (!ack.ok()) return ack.status();
     if (ack.value().has_value()) {
-      if (!std::holds_alternative<net::TimeAck>(*ack.value())) {
+      const auto* time_ack = std::get_if<net::TimeAck>(&*ack.value());
+      if (time_ack == nullptr) {
         return Status{StatusCode::kInternal,
                       strformat("expected TIME_ACK, got {}",
                                 net::to_string(net::type_of(*ack.value())))};
       }
       acks_received_.inc();
+      note_ack(*time_ack);
+      next_sync_ = cycle_ + policy_.grant(0, cycle_, board_lookahead_);
       if (tracer.enabled()) {
         const u64 span_end = tracer.now_ns();
         sync_rtt_ns_.record_ns(span_end - span_start);
@@ -171,7 +197,7 @@ Status CosimKernel::run_cycles(u64 cycles) {
     ++cycle_;
     s = sample_interrupts();
     if (!s.ok()) return s;
-    if (config_.timed && cycle_ % config_.t_sync == 0) {
+    if (config_.timed && cycle_ == next_sync_) {
       obs::StallProfiler::Timer timer(profiler, Bucket::kAckWait);
       s = sync_with_board();
       if (!s.ok()) return s;

@@ -88,6 +88,12 @@ SessionConfig SessionConfigBuilder::build_or_throw() const {
 CosimSession::CosimSession(SessionConfig config) : config_(std::move(config)) {
   Status valid = config_.validate();
   if (!valid.ok()) throw std::invalid_argument(valid.to_string());
+  // Adaptive mode needs the board's acks to carry its lookahead; the
+  // board-side lookahead is conservative by construction, so opting the
+  // board in whenever the master adapts is always correct.
+  if (config_.cosim.timed && config_.cosim.resolved_sync().is_adaptive()) {
+    config_.board.advertise_lookahead = true;
+  }
   hub_ = std::make_unique<obs::Hub>(config_.obs);
   net::LinkPair pair;
   if (config_.transport == TransportKind::kInProc) {
@@ -175,7 +181,9 @@ std::map<std::string, std::string> CosimSession::config_tags() const {
   // Config echo: enough to rebuild a matching lone-side configuration for
   // replay (net::ReplaySession) without the original command line.
   std::map<std::string, std::string> tags;
-  tags["t_sync"] = strformat("{}", config_.cosim.t_sync);
+  const SyncPolicy policy = config_.cosim.resolved_sync();
+  tags["t_sync"] = strformat("{}", policy.quantum());
+  tags["adaptive"] = policy.is_adaptive() ? "1" : "0";
   tags["data_poll_interval"] =
       strformat("{}", config_.cosim.data_poll_interval);
   tags["timed"] = config_.cosim.timed ? "1" : "0";

@@ -25,6 +25,21 @@ obs::Recording snapshot_recording(obs::FlightRecorder& recorder,
 
 }  // namespace
 
+cosim::SyncPolicy FabricConfig::resolved_sync() const {
+  cosim::SyncPolicy policy =
+      sync.has_value() ? *sync
+                       : cosim::SyncPolicy{}
+                             .quantum(t_sync)
+                             .watchdog(watchdog)
+                             .evict_after(evict_after_misses);
+  // Per-node cadence overrides predate the policy and keep working with it:
+  // add_node(name, t_sync) composes with .sync(policy).
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].t_sync != 0) policy.node_quantum(i, nodes[i].t_sync);
+  }
+  return policy;
+}
+
 Status FabricConfig::validate() const {
   if (nodes.empty()) {
     return Status{StatusCode::kInvalidArgument,
@@ -38,10 +53,7 @@ Status FabricConfig::validate() const {
     return Status{StatusCode::kInvalidArgument,
                   "FabricConfig: data_poll_interval must be > 0"};
   }
-  if (evict_after_misses > 0 && watchdog.count() == 0) {
-    return Status{StatusCode::kInvalidArgument,
-                  "FabricConfig: eviction needs a nonzero watchdog"};
-  }
+  if (Status s = resolved_sync().validate(nodes.size()); !s.ok()) return s;
   if (Status s = fault_plan.validate(); !s.ok()) return s;
   if (fault_plan.armed() && !fault_plan.lossless() && !recovery.enabled) {
     return Status{StatusCode::kInvalidArgument,
@@ -50,11 +62,6 @@ Status FabricConfig::validate() const {
   }
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const FabricNodeConfig& node = nodes[i];
-    const u64 quantum = node.t_sync != 0 ? node.t_sync : t_sync;
-    if (quantum == 0) {
-      return Status{StatusCode::kInvalidArgument,
-                    strformat("FabricConfig: node {} t_sync is 0", i)};
-    }
     if (node.external) continue;
     if (node.board.free_running) {
       return Status{
@@ -128,6 +135,7 @@ Fabric::Fabric(FabricConfig config)
                                        : config_.clock_period) {
   Status valid = config_.validate();
   if (!valid.ok()) throw std::invalid_argument(valid.to_string());
+  const cosim::SyncPolicy policy = config_.resolved_sync();
 
   schedule_ = fault::compile(config_.fault_plan, hub_.get());
   if (schedule_) {
@@ -209,6 +217,10 @@ Fabric::Fabric(FabricConfig config)
     } else {
       board::BoardConfig board_config = node->config.board;
       if (board_config.name.empty()) board_config.name = name;
+      // Adaptive mode needs every board's acks to carry its lookahead; the
+      // board-side lookahead is conservative by construction, so opting the
+      // boards in wholesale is always correct.
+      if (policy.is_adaptive()) board_config.advertise_lookahead = true;
       node->host = std::make_unique<board::BoardHost>(
           board_config, std::move(board_side), node->hub.get());
       node->hub->board_recorder().set_board_time_source(
@@ -222,22 +234,16 @@ Fabric::Fabric(FabricConfig config)
   hub_->hw_recorder().set_hw_time_source([this] { return cycle_; });
   hub_->metrics().gauge("fabric.nodes").set(static_cast<i64>(n));
 
-  SyncConfig sync;
-  sync.t_sync = config_.t_sync;
-  sync.watchdog = config_.watchdog;
-  sync.evict_after_misses = config_.evict_after_misses;
-  sync.t_sync_overrides.reserve(n);
   std::vector<net::Channel*> clocks;
   std::vector<std::string> names;
   clocks.reserve(n);
   names.reserve(n);
   for (const auto& node : nodes_) {
-    sync.t_sync_overrides.push_back(node->config.t_sync);
     clocks.push_back(node->hw_link.clock.get());
     names.push_back(node->config.name);
   }
   coordinator_ = std::make_unique<SyncCoordinator>(
-      std::move(sync), std::move(clocks), std::move(names), hub_.get());
+      policy, std::move(clocks), std::move(names), hub_.get());
 }
 
 Fabric::~Fabric() { finish(); }
@@ -422,7 +428,9 @@ Status Fabric::write_recordings(
                   "flight recorder is disabled (FabricConfig::obs.record)"};
   }
   std::map<std::string, std::string> all = tags;
-  all["t_sync"] = strformat("{}", config_.t_sync);
+  const cosim::SyncPolicy policy = config_.resolved_sync();
+  all["t_sync"] = strformat("{}", policy.quantum());
+  all["adaptive"] = policy.is_adaptive() ? "1" : "0";
   all["nodes"] = strformat("{}", nodes_.size());
   Status s = obs::write_recording(
       prefix + ".hw.vhprec", snapshot_recording(hub_->hw_recorder(), all),

@@ -25,12 +25,36 @@ Status SyncConfig::validate(std::size_t n_nodes) const {
   return Status::Ok();
 }
 
-SyncCoordinator::SyncCoordinator(SyncConfig config,
+cosim::SyncPolicy SyncConfig::to_policy() const {
+  cosim::SyncPolicy policy;
+  policy.quantum(t_sync).watchdog(watchdog).evict_after(evict_after_misses);
+  for (std::size_t i = 0; i < t_sync_overrides.size(); ++i) {
+    if (t_sync_overrides[i] != 0) policy.node_quantum(i, t_sync_overrides[i]);
+  }
+  return policy;
+}
+
+namespace {
+
+/// Legacy view of a policy, backing SyncCoordinator::config().
+SyncConfig mirror_config(const cosim::SyncPolicy& policy) {
+  SyncConfig config;
+  config.t_sync = policy.quantum();
+  config.t_sync_overrides = policy.overrides();
+  config.watchdog = policy.watchdog();
+  config.evict_after_misses = policy.evict_after_misses();
+  return config;
+}
+
+}  // namespace
+
+SyncCoordinator::SyncCoordinator(cosim::SyncPolicy policy,
                                  std::vector<net::Channel*> clocks,
                                  std::vector<std::string> names,
                                  obs::Hub* hub)
-    : config_(std::move(config)),
-      config_status_(config_.validate(clocks.size())),
+    : policy_(std::move(policy)),
+      config_(mirror_config(policy_)),
+      config_status_(policy_.validate(clocks.size())),
       owned_hub_(hub != nullptr ? nullptr : new obs::Hub()),
       hub_(hub != nullptr ? hub : owned_hub_.get()),
       barriers_(hub_->metrics().counter("fabric.barriers")),
@@ -38,6 +62,9 @@ SyncCoordinator::SyncCoordinator(SyncConfig config,
       acks_received_(hub_->metrics().counter("fabric.acks_received")),
       evictions_(hub_->metrics().counter("fabric.node_evicted")),
       rejoins_(hub_->metrics().counter("fabric.node_rejoined")),
+      lookahead_acks_(hub_->metrics().counter("fabric.lookahead_acks")),
+      lookahead_unbounded_(
+          hub_->metrics().counter("fabric.lookahead_unbounded")),
       barrier_wait_ns_(hub_->metrics().histogram("fabric.barrier_wait_ns")) {
   if (!config_status_.ok()) {
     log_.warn("invalid config: {}", config_status_.to_string());
@@ -47,12 +74,20 @@ SyncCoordinator::SyncCoordinator(SyncConfig config,
     std::string name =
         i < names.size() && !names[i].empty() ? names[i]
                                               : strformat("node{}", i);
-    const u64 quantum = std::max<u64>(1, config_.quantum(i));
+    const u64 quantum = std::max<u64>(1, policy_.node_quantum(i));
     nodes_.push_back(Node{
-        clocks[i], name, quantum, 0, quantum,
-        hub_->metrics().counter("fabric." + name + ".acks")});
+        clocks[i], name, quantum, 0, quantum, std::nullopt,
+        hub_->metrics().counter("fabric." + name + ".acks"),
+        hub_->metrics().histogram("fabric." + name + ".grant_cycles")});
   }
 }
+
+SyncCoordinator::SyncCoordinator(const SyncConfig& config,
+                                 std::vector<net::Channel*> clocks,
+                                 std::vector<std::string> names,
+                                 obs::Hub* hub)
+    : SyncCoordinator(config.to_policy(), std::move(clocks), std::move(names),
+                      hub) {}
 
 Status SyncCoordinator::handshake() {
   if (!config_status_.ok()) return config_status_;
@@ -61,6 +96,14 @@ Status SyncCoordinator::handshake() {
   for (std::size_t i = 0; i < nodes_.size(); ++i) pending[i] = i;
   Status s = gather(std::move(pending), {});
   if (!s.ok()) return s;
+  // The boot acks are the first chance to adapt: a node that already knows
+  // it sleeps through the first default quantum gets a longer first grant.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    if (node.alive) {
+      node.next_due = std::max<u64>(1, policy_.grant(i, 0, node.lookahead));
+    }
+  }
   handshaken_ = true;
   log_.debug("handshake complete, {} nodes frozen", nodes_.size());
   return Status::Ok();
@@ -74,6 +117,12 @@ u64 SyncCoordinator::next_due() const {
   return due;
 }
 
+void SyncCoordinator::note_lookahead(const std::optional<u64>& lookahead) {
+  if (!lookahead.has_value()) return;
+  lookahead_acks_.inc();
+  if (*lookahead == net::kLookaheadUnbounded) lookahead_unbounded_.inc();
+}
+
 std::size_t SyncCoordinator::alive_count() const {
   std::size_t n = 0;
   for (const Node& node : nodes_) n += node.alive ? 1 : 0;
@@ -83,6 +132,7 @@ std::size_t SyncCoordinator::alive_count() const {
 void SyncCoordinator::evict_node(std::size_t index, std::string_view why) {
   Node& node = nodes_[index];
   node.alive = false;
+  node.lookahead.reset();  // a dead node's promise must not shape grants
   evictions_.inc();
   hub_->metrics().counter("fabric." + node.name + ".evicted").inc();
   hub_->tracer().instant("fabric.node_evicted", "fabric", index, "node");
@@ -112,7 +162,8 @@ Status SyncCoordinator::rejoin(std::size_t index, u64 cycle) {
                   strformat("fabric: rejoin of {} failed: {}", node.name,
                             ack.status().message())};
   }
-  if (!std::holds_alternative<net::TimeAck>(ack.value())) {
+  const auto* time_ack = std::get_if<net::TimeAck>(&ack.value());
+  if (time_ack == nullptr) {
     return Status{StatusCode::kInternal,
                   strformat("fabric: rejoin of {} expected TIME_ACK, got {}",
                             node.name,
@@ -121,7 +172,12 @@ Status SyncCoordinator::rejoin(std::size_t index, u64 cycle) {
   node.alive = true;
   node.missed = 0;
   node.last_granted = cycle;
-  node.next_due = cycle + node.quantum;
+  // Re-base from the returning ack's lookahead (fixed mode: one quantum
+  // out, as before). A stale pre-eviction promise is gone — evict_node
+  // cleared it — so only this fresh ack shapes the next grant.
+  node.lookahead = time_ack->lookahead;
+  note_lookahead(node.lookahead);
+  node.next_due = cycle + policy_.grant(index, cycle, node.lookahead);
   node.acks.inc();
   acks_received_.inc();
   rejoins_.inc();
@@ -158,13 +214,27 @@ Status SyncCoordinator::run_barrier(u64 cycle,
                                         node.name, s.message())};
     }
     ticks_sent_.inc();
+    node.grants.record_ns(elapsed);  // grant-size distribution, in cycles
     node.last_granted = cycle;
+    // Provisional fixed-cadence due-cycle; re-based from the fresh ack's
+    // lookahead once the gather delivers it.
     node.next_due = cycle + node.quantum;
     pending.push_back(i);
   }
 
+  const std::vector<std::size_t> ticked = pending;
   Status s = gather(std::move(pending), service);
   if (!s.ok()) return s;
+
+  // Adaptive re-base: every ticked node just froze again and its ack says
+  // when it can next interact. max(min, min(lookahead - cycle, max)) keeps
+  // the grant finite — a wrong (too large) lookahead costs at most
+  // max_quantum of accuracy, never liveness.
+  for (std::size_t i : ticked) {
+    Node& node = nodes_[i];
+    if (!node.alive) continue;
+    node.next_due = cycle + policy_.grant(i, cycle, node.lookahead);
+  }
 
   const auto wait_end = std::chrono::steady_clock::now();
   barrier_wait_ns_.record_ns(static_cast<u64>(
@@ -206,7 +276,8 @@ Status SyncCoordinator::gather(std::vector<std::size_t> pending,
         ++p;
         continue;
       }
-      if (!std::holds_alternative<net::TimeAck>(*ack.value())) {
+      const auto* time_ack = std::get_if<net::TimeAck>(&*ack.value());
+      if (time_ack == nullptr) {
         return Status{StatusCode::kInternal,
                       strformat("fabric: expected TIME_ACK from {}, got {}",
                                 node.name,
@@ -214,6 +285,8 @@ Status SyncCoordinator::gather(std::vector<std::size_t> pending,
       }
       acks_received_.inc();
       node.acks.inc();
+      node.lookahead = time_ack->lookahead;
+      note_lookahead(node.lookahead);
       node.missed = 0;
       pending[p] = pending.back();
       pending.pop_back();

@@ -53,7 +53,12 @@ Bytes encode(const Message& msg) {
       w.u64v(m.sim_cycle);
       w.u32v(m.n_ticks);
     }
-    void operator()(const TimeAck& m) const { w.u64v(m.board_tick); }
+    void operator()(const TimeAck& m) const {
+      w.u64v(m.board_tick);
+      // Wire v2: the lookahead is appended only when advertised, keeping a
+      // v1 ack byte-identical to the pre-lookahead format.
+      if (m.lookahead.has_value()) w.u64v(*m.lookahead);
+    }
     void operator()(const Shutdown&) const {}
   };
   std::visit(Visitor{w}, msg);
@@ -102,6 +107,8 @@ Result<Message> decode(std::span<const u8> frame) {
     case MsgType::kTimeAck: {
       TimeAck m;
       m.board_tick = r.u64v();
+      // Wire v2 carries a trailing lookahead; a v1 frame ends here.
+      if (r.ok() && !r.at_end()) m.lookahead = r.u64v();
       msg = m;
       break;
     }

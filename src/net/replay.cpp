@@ -1,6 +1,7 @@
 #include "vhp/net/replay.hpp"
 
 #include <algorithm>
+#include <map>
 #include <thread>
 
 #include "vhp/common/checksum.hpp"
@@ -86,14 +87,74 @@ std::string message_field_diff(const FrameRecord& expected,
                  ? field_diff("ClockTick", "n_ticks", x.n_ticks, y.n_ticks)
                  : d;
     }
-    case MsgType::kTimeAck:
-      return field_diff("TimeAck", "board_tick",
-                        std::get<TimeAck>(a).board_tick,
-                        std::get<TimeAck>(b).board_tick);
+    case MsgType::kTimeAck: {
+      const auto& x = std::get<TimeAck>(a);
+      const auto& y = std::get<TimeAck>(b);
+      std::string d = field_diff("TimeAck", "board_tick", x.board_tick,
+                                 y.board_tick);
+      if (!d.empty()) return d;
+      // Wire v2: one side advertising a lookahead and the other not (or
+      // different values) is a divergence like any other field.
+      if (x.lookahead != y.lookahead) {
+        const auto show = [](const std::optional<u64>& v) {
+          if (!v.has_value()) return std::string("none");
+          if (*v == kLookaheadUnbounded) return std::string("unbounded");
+          return strformat("{}", *v);
+        };
+        return strformat("TimeAck.lookahead: {} vs {}", show(x.lookahead),
+                         show(y.lookahead));
+      }
+      return {};
+    }
     case MsgType::kShutdown:
       return {};
   }
   return {};
+}
+
+std::string grant_stats_text(const obs::Recording& recording) {
+  struct NodeStats {
+    u64 grants = 0;
+    u64 min = ~u64{0};
+    u64 max = 0;
+    u64 total = 0;
+    u64 acks = 0;
+    u64 with_lookahead = 0;
+    u64 unbounded = 0;
+  };
+  std::map<u32, NodeStats> nodes;
+  for (const FrameRecord& f : recording.frames) {
+    if (f.port != LinkPort::kClock || f.truncated) continue;
+    auto msg = decode(f.payload);
+    if (!msg.ok()) continue;
+    if (const auto* tick = std::get_if<ClockTick>(&msg.value())) {
+      NodeStats& n = nodes[f.node];
+      ++n.grants;
+      n.total += tick->n_ticks;
+      n.min = std::min<u64>(n.min, tick->n_ticks);
+      n.max = std::max<u64>(n.max, tick->n_ticks);
+    } else if (const auto* ack = std::get_if<TimeAck>(&msg.value())) {
+      NodeStats& n = nodes[f.node];
+      ++n.acks;
+      if (ack->lookahead.has_value()) {
+        ++n.with_lookahead;
+        if (*ack->lookahead == kLookaheadUnbounded) ++n.unbounded;
+      }
+    }
+  }
+  if (nodes.empty()) return {};
+  std::string out = "sync grants (CLOCK traffic):\n";
+  for (const auto& [node, n] : nodes) {
+    out += strformat("  node {}: {} grants", node, n.grants);
+    if (n.grants > 0) {
+      out += strformat(", cycles min/mean/max {}/{}/{}", n.min,
+                       n.total / n.grants, n.max);
+    }
+    out += strformat("; {} acks, {} with lookahead", n.acks, n.with_lookahead);
+    if (n.unbounded > 0) out += strformat(" ({} unbounded)", n.unbounded);
+    out += "\n";
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -134,15 +134,16 @@ void Kernel::timer_tick() {
   }
 }
 
-void Kernel::consume(u64 cycles) {
+u64 Kernel::consume(u64 cycles) {
   assert(current_ != nullptr && "consume() outside thread context");
+  const u64 requested = cycles;
   while (cycles > 0) {
     if (config_.budget_mode && budget_cycles_ == 0) {
       enter_idle_state();
       if (current_ == idle_thread_ || current_->is_comm_thread()) {
         // Machinery threads never block on the budget; they are outside
         // the timing model and must stay runnable to thaw the OS.
-        return;
+        return requested - cycles;
       }
       // The freeze callback may have granted synchronously (tests do;
       // the real board grants later from the systemc thread) — re-check
@@ -163,6 +164,7 @@ void Kernel::consume(u64 cycles) {
       reschedule_current();
     }
   }
+  return requested;
 }
 
 void Kernel::delay(SwTicks ticks) {
@@ -191,6 +193,33 @@ void Kernel::grant_cycles(u64 cycles) {
   }
 }
 
+std::optional<u64> Kernel::next_event_cycles() const {
+  // Work that resumes on the very next grant: a pending DSR, a thread
+  // starved mid-consume on the budget, or any runnable application thread
+  // (the freeze callback runs in the context of the thread that exhausted
+  // the budget, so that thread shows up here as kRunning).
+  if (interrupts_.dsr_pending()) return 0;
+  if (!budget_wait_.empty()) return 0;
+  for (const auto& t : threads_) {
+    if (t.get() == idle_thread_ || t->is_comm_thread()) continue;
+    if (t->state() == Thread::State::kReady ||
+        t->state() == Thread::State::kRunning) {
+      return 0;
+    }
+  }
+  if (const auto trigger = rtc_.next_trigger()) {
+    const u64 now = rtc_.value();
+    if (*trigger <= now) return 0;
+    const u64 ticks = *trigger - now;
+    if (ticks > ~u64{0} / config_.cycles_per_tick) return std::nullopt;
+    // The alarm fires when the RTC has advanced `ticks` more ticks; the
+    // current tick is already partially consumed.
+    return ticks * config_.cycles_per_tick -
+           (cycle_count_ % config_.cycles_per_tick);
+  }
+  return std::nullopt;  // idle until data arrives
+}
+
 void Kernel::enter_idle_state() {
   if (state_ == OsState::kIdle) return;
   state_ = OsState::kIdle;
@@ -208,11 +237,12 @@ void Kernel::idle_loop() {
         if (budget_cycles_ > 0) {
           // Nothing else wants the CPU: idle time consumes the budget so
           // virtual time always reaches the next synchronization point.
-          const u64 chunk = std::min(
-              budget_cycles_, config_.cycles_per_tick -
-                                  (cycle_count_ % config_.cycles_per_tick));
-          stats_.idle_cycles += chunk;
-          consume(chunk);
+          // The whole remaining budget goes in one consume() — its per-tick
+          // loop fires alarms at their exact ticks and reschedules the
+          // moment one wakes a thread, so a board sleeping through a long
+          // adaptive grant costs per-tick arithmetic, not a scheduler
+          // round-trip per tick.
+          stats_.idle_cycles += consume(budget_cycles_);
           advanced = true;
         } else {
           enter_idle_state();

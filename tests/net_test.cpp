@@ -2,8 +2,10 @@
 // channels, and the 3-port link.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
+#include "vhp/common/bytes.hpp"
 #include "vhp/net/channel.hpp"
 #include "vhp/net/inproc.hpp"
 #include "vhp/net/message.hpp"
@@ -37,6 +39,8 @@ INSTANTIATE_TEST_SUITE_P(
         Message{IntRaise{7}},
         Message{ClockTick{123456789012ULL, 1000}},
         Message{TimeAck{42}},
+        Message{TimeAck{42, 1234}},
+        Message{TimeAck{7, kLookaheadUnbounded}},
         Message{Shutdown{}}));
 
 TEST(MessageCodec, RejectsUnknownType) {
@@ -51,8 +55,52 @@ TEST(MessageCodec, RejectsTruncation) {
 }
 
 TEST(MessageCodec, RejectsTrailingGarbage) {
-  Bytes frame = encode(Message{TimeAck{9}});
+  // TimeAck is length-versioned (trailing bytes are its v2 lookahead), so
+  // the trailing-garbage rule is checked on a fixed-layout type.
+  Bytes frame = encode(Message{IntRaise{9}});
   frame.push_back(0);
+  EXPECT_FALSE(decode(frame).ok());
+}
+
+// ---------- TIME_ACK wire v2 (adaptive lookahead) ----------
+
+TEST(MessageCodec, TimeAckWithoutLookaheadIsByteIdenticalToV1) {
+  // Hand-built v1 frame: type byte + board_tick, nothing else.
+  Bytes v1;
+  ByteWriter w{v1};
+  w.u8v(static_cast<u8>(MsgType::kTimeAck));
+  w.u64v(42);
+  EXPECT_EQ(encode(Message{TimeAck{42}}), v1);
+  auto decoded = decode(v1);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  const auto& ack = std::get<TimeAck>(decoded.value());
+  EXPECT_EQ(ack.board_tick, 42u);
+  EXPECT_FALSE(ack.lookahead.has_value());
+}
+
+TEST(MessageCodec, TimeAckV2AppendsLookahead) {
+  const Bytes v1 = encode(Message{TimeAck{42}});
+  const Bytes v2 = encode(Message{TimeAck{42, 9000}});
+  // The v2 frame is the v1 frame plus the trailing lookahead field.
+  ASSERT_GT(v2.size(), v1.size());
+  EXPECT_TRUE(std::equal(v1.begin(), v1.end(), v2.begin()));
+  auto decoded = decode(v2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  const auto& ack = std::get<TimeAck>(decoded.value());
+  ASSERT_TRUE(ack.lookahead.has_value());
+  EXPECT_EQ(*ack.lookahead, 9000u);
+}
+
+TEST(MessageCodec, TimeAckUnboundedLookaheadSentinel) {
+  auto decoded = decode(encode(Message{TimeAck{1, kLookaheadUnbounded}}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(std::get<TimeAck>(decoded.value()).lookahead,
+            std::optional<u64>{kLookaheadUnbounded});
+}
+
+TEST(MessageCodec, TimeAckRejectsTruncatedLookahead) {
+  Bytes frame = encode(Message{TimeAck{42, 0x1234567890ULL}});
+  frame.pop_back();  // clip the trailing lookahead varint mid-field
   EXPECT_FALSE(decode(frame).ok());
 }
 

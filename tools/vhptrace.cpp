@@ -118,10 +118,16 @@ std::string describe(const obs::FrameRecord& r) {
           msg += strformat(" sim_cycle={} n_ticks={}", t.sim_cycle, t.n_ticks);
           break;
         }
-        case net::MsgType::kTimeAck:
-          msg += strformat(" board_tick={}",
-                           std::get<net::TimeAck>(m).board_tick);
+        case net::MsgType::kTimeAck: {
+          const auto& a = std::get<net::TimeAck>(m);
+          msg += strformat(" board_tick={}", a.board_tick);
+          if (a.lookahead.has_value()) {
+            msg += *a.lookahead == net::kLookaheadUnbounded
+                       ? " lookahead=unbounded"
+                       : strformat(" lookahead={}", *a.lookahead);
+          }
           break;
+        }
         case net::MsgType::kShutdown:
           break;
       }
@@ -177,6 +183,8 @@ int cmd_stats(std::vector<std::string> args) {
   obs::Recording rec = load_or_exit(args[0]);
   keep_node(rec, node);
   std::fputs(obs::recording_stats_text(rec).c_str(), stdout);
+  // Per-node grant summary — which nodes adapted, and how far.
+  std::fputs(net::grant_stats_text(rec).c_str(), stdout);
   return 0;
 }
 

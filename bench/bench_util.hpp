@@ -51,6 +51,10 @@ struct ExperimentParams {
   /// ISSUE-2 acceptance check: recording must stay under 5% wall-time
   /// overhead on fig6_overhead_ratio.
   bool record = false;
+  /// Arm the causal timeline (per-round span rings + wire-v3 round
+  /// stamping) for this run. Off by default: timeline_overhead gates the
+  /// disarmed configuration at under 1% wall-time overhead.
+  bool timeline = false;
   /// Fault injection / link recovery for this run (vhp::fault). The
   /// defaults are disarmed: an empty plan compiles to nullptr and disabled
   /// recovery returns the link untouched, so configuring them must cost
@@ -98,6 +102,7 @@ inline ExperimentResult run_router_experiment(const ExperimentParams& p) {
   cfg.board.rtos.cycles_per_tick = 10;
   cfg.obs.enabled = p.observability;
   cfg.obs.record.enabled = p.record;
+  cfg.obs.timeline.enabled = p.timeline;
   cfg.fault_plan = p.fault_plan;
   cfg.recovery = p.recovery;
   cfg.postmortem_prefix.clear();  // benches measure; no dump side effects

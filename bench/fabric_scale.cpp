@@ -60,9 +60,11 @@ struct ScaleResult {
 };
 
 ScaleResult run_scale_point(std::size_t n_nodes, bool adaptive,
-                            u64 packets_per_port, bool inproc) {
+                            u64 packets_per_port, bool inproc,
+                            const std::string& record_prefix = {}) {
   fabric::FabricConfigBuilder builder;
   builder.t_sync(kTsync).watchdog(std::chrono::milliseconds{30000});
+  if (!record_prefix.empty()) builder.record().timeline();
   if (adaptive) {
     builder.sync(cosim::SyncPolicy{}
                      .quantum(kTsync)
@@ -123,6 +125,24 @@ ScaleResult run_scale_point(std::size_t n_nodes, bool adaptive,
   }
   const auto end = std::chrono::steady_clock::now();
   fab.finish();
+
+  if (!record_prefix.empty()) {
+    // Feed the offline analyzers: `vhptrace critical <prefix>.hw.vhprec
+    // <prefix>.<node>.board.vhprec ...` must reconcile with this run's wall
+    // time (the check.sh timeline smoke drives exactly that).
+    Status s = fab.write_recordings(record_prefix);
+    if (s.ok()) {
+      std::printf("recordings: %s.hw.vhprec + %zu board sides\n",
+                  record_prefix.c_str(), n_nodes);
+    } else {
+      std::fprintf(stderr, "recording write failed: %s\n",
+                   s.to_string().c_str());
+    }
+    const obs::TimelineAnalysis a = fab.timeline_analysis();
+    std::printf("timeline: %zu rounds, slowdown %.1fx, reconciliation "
+                "error %.2f%%\n",
+                a.rounds.size(), a.slowdown, a.reconciliation_error * 100.0);
+  }
 
   ScaleResult r;
   r.wall_seconds = std::chrono::duration<double>(end - start).count();
@@ -213,26 +233,37 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   bool inproc = false;
   bool gate = false;
+  std::string record_prefix;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--inproc") inproc = true;
     if (std::string(argv[i]) == "--gate") gate = true;
+    if (std::string(argv[i]) == "--record" && i + 1 < argc) {
+      record_prefix = argv[++i];
+    }
   }
-  const u64 packets_per_port = quick || gate ? 6 : 12;
+  const u64 packets_per_port = quick || gate || !record_prefix.empty()
+                                   ? 6 : 12;
 
   std::printf("%6s %9s %10s %9s %13s %15s %15s %9s\n", "nodes", "mode",
               "wall_s", "barriers", "wait_mean_us", "wait_us/kcycle",
               "grant_min-max", "forwarded");
 
+  // --record PREFIX: one armed-timeline N=8 adaptive run that writes the
+  // .vhprec set for the vhptrace critical smoke (ISSUE 7 acceptance).
   const std::vector<std::size_t> node_counts =
-      gate ? std::vector<std::size_t>{8}
-           : std::vector<std::size_t>{1, 2, 4, 8, 16};
+      gate || !record_prefix.empty() ? std::vector<std::size_t>{8}
+                                     : std::vector<std::size_t>{1, 2, 4, 8,
+                                                                16};
+  const std::vector<bool> modes = !record_prefix.empty()
+                                      ? std::vector<bool>{true}
+                                      : std::vector<bool>{false, true};
   std::vector<bench::JsonRow> rows;
   bool all_drained = true;
   double gate_fixed = -1, gate_adaptive = -1;
   for (const std::size_t n : node_counts) {
-    for (const bool adaptive : {false, true}) {
-      const ScaleResult r =
-          run_scale_point(n, adaptive, packets_per_port, inproc);
+    for (const bool adaptive : modes) {
+      const ScaleResult r = run_scale_point(n, adaptive, packets_per_port,
+                                            inproc, record_prefix);
       all_drained = all_drained && r.drained;
       print_row(n, adaptive, r);
       rows.push_back(to_row(n, adaptive, packets_per_port, r));

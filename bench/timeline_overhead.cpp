@@ -1,0 +1,187 @@
+// Timeline-layer overhead: the flight-recorder-discipline acceptance check
+// for vhp::obs::timeline (ISSUE 7).
+//
+// Three configurations of the same fixed-cycle router co-simulation:
+//   baseline  — default session, timeline never mentioned
+//   disarmed  — timeline configured but not enabled; every span-record call
+//               must stay one branch on a const bool (no clock read, no
+//               ring), and the CLOCK/TIME_ACK frames must stay wire v1/v2
+//   armed     — timeline enabled: wire-v3 round stamping, two steady_clock
+//               reads per phase and mutex-guarded ring stores, as a
+//               reference point for what the causal timeline costs
+//
+// The acceptance gate is disarmed-vs-baseline: under 1% wall-time overhead
+// on the median of per-round paired ratios — repetitions are interleaved
+// round-robin, each round's candidate run is divided by that same round's
+// baseline run (back-to-back, so drift cancels), and the median shrugs off
+// heavy-tailed rounds. The armed row is informational and not gated. Pass
+// --gate to turn a breach into exit 1 (scripts/check.sh does); without it
+// the breach is reported but not fatal, so full-suite bench sweeps on noisy
+// machines stay green.
+//
+// Output: BENCH_timeline_overhead.metrics.json — one row per configuration
+// plus the computed disarmed/armed overhead percentages.
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+using namespace vhp;
+
+namespace {
+
+struct ConfigResult {
+  double wall_min_s = 0;
+  double wall_mean_s = 0;
+  std::vector<double> wall_s;     // one entry per rotation round
+  bench::ExperimentResult last;   // one representative run's counters
+};
+
+void accumulate_rep(const bench::ExperimentParams& params, int reps,
+                    ConfigResult& r) {
+  bench::ExperimentResult one = bench::run_router_experiment(params);
+  r.wall_min_s = std::min(r.wall_min_s, one.wall_seconds);
+  r.wall_mean_s += one.wall_seconds / reps;
+  r.wall_s.push_back(one.wall_seconds);
+  r.last = std::move(one);
+}
+
+// Median over rounds of the per-round wall ratio (candidate / baseline),
+// as an overhead percentage. The two runs of a round execute back to back,
+// so slow machine phases hit both and cancel in the ratio; the median then
+// shrugs off the heavy-tailed rounds that a min- or mean-based statistic
+// lets through.
+double paired_median_overhead_pct(const std::vector<double>& candidate,
+                                  const std::vector<double>& baseline) {
+  std::vector<double> ratios;
+  const std::size_t n = std::min(candidate.size(), baseline.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (baseline[i] > 0) ratios.push_back(candidate[i] / baseline[i]);
+  }
+  if (ratios.empty()) return 0.0;
+  std::sort(ratios.begin(), ratios.end());
+  const std::size_t mid = ratios.size() / 2;
+  const double median = ratios.size() % 2 != 0
+                            ? ratios[mid]
+                            : (ratios[mid - 1] + ratios[mid]) / 2.0;
+  return (median - 1.0) * 100.0;
+}
+
+bool gate_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gate") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "timeline overhead: disarmed span tracing vs plain session vs armed",
+      "ISSUE 7 acceptance: a disarmed causal timeline costs under 1%");
+  const bool quick = bench::quick_mode(argc, argv);
+  const bool gate = gate_mode(argc, argv);
+  // A ~45 ms quick run has a noise floor of a few percent at 3 reps — above
+  // the 1% budget — so gate mode buys convergence with more repetitions
+  // (min-over-reps tightens toward the true floor as reps grow).
+  const int reps = gate ? 11 : (quick ? 3 : 5);
+
+  bench::ExperimentParams params;
+  params.n_packets = 40;
+  params.t_sync = 1000;
+  params.gap_cycles = 400;
+  // Gate mode overrides --quick's shorter runs: a ~45 ms run carries a
+  // noise floor of a few percent, which would drown the 1% budget.
+  params.fixed_cycles = (quick && !gate) ? 60000 : 120000;
+  params.transport = cosim::TransportKind::kInProc;  // minimal noise floor
+
+  // Disarmed: the knob exists and is explicitly off — the instrumented hot
+  // paths still execute their enabled() branches, which is exactly what the
+  // gate prices.
+  bench::ExperimentParams disarmed = params;
+  disarmed.timeline = false;
+  bench::ExperimentParams armed = params;
+  armed.timeline = true;
+
+  // Interleave the repetitions round-robin rather than batching each
+  // configuration: batched reps turn slow machine-load drift into a fake
+  // between-config delta, while interleaved reps expose every config to the
+  // same noise and let the paired-ratio statistic cancel it. One discarded
+  // warmup run pays the cold-cache/page-fault tax before anything is timed.
+  // Even so, the statistic's noise at zero is around the budget itself, so
+  // gate mode re-measures on a breach: a real regression fails every pass,
+  // a noise spike does not.
+  const int max_passes = gate ? 3 : 1;
+  ConfigResult baseline, off, on;
+  double overhead_pct = 0.0, armed_pct = 0.0;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    baseline = off = on = ConfigResult{};
+    baseline.wall_min_s = off.wall_min_s = on.wall_min_s = 1e100;
+    (void)bench::run_router_experiment(params);
+    for (int i = 0; i < reps; ++i) {
+      accumulate_rep(params, reps, baseline);
+      accumulate_rep(disarmed, reps, off);
+      accumulate_rep(armed, reps, on);
+    }
+    overhead_pct = paired_median_overhead_pct(off.wall_s, baseline.wall_s);
+    armed_pct = paired_median_overhead_pct(on.wall_s, baseline.wall_s);
+    if (overhead_pct <= 1.0) break;
+    if (pass + 1 < max_passes) {
+      std::fprintf(stderr,
+                   "pass %d/%d: disarmed at %.2f%% (budget 1%%), "
+                   "re-measuring\n",
+                   pass + 1, max_passes, overhead_pct);
+    }
+  }
+
+  std::printf("%10s %12s %12s %10s\n", "config", "wall_min_s", "wall_mean_s",
+              "vs_base");
+  std::printf("%10s %12.4f %12.4f %9s\n", "baseline", baseline.wall_min_s,
+              baseline.wall_mean_s, "-");
+  std::printf("%10s %12.4f %12.4f %+9.2f%%\n", "disarmed", off.wall_min_s,
+              off.wall_mean_s, overhead_pct);
+  std::printf("%10s %12.4f %12.4f %+9.2f%%\n", "armed", on.wall_min_s,
+              on.wall_mean_s, armed_pct);
+
+  std::vector<bench::JsonRow> rows;
+  const struct {
+    const char* name;
+    const ConfigResult* r;
+    double pct;
+  } table[] = {{"baseline", &baseline, 0.0},
+               {"disarmed", &off, overhead_pct},
+               {"armed", &on, armed_pct}};
+  for (const auto& entry : table) {
+    bench::JsonRow row;
+    row.params = strformat(
+        "\"config\":\"{}\",\"reps\":{},\"fixed_cycles\":{},"
+        "\"wall_min_s\":{},\"wall_mean_s\":{},\"overhead_pct\":{},"
+        "\"forwarded\":{},\"syncs\":{}",
+        entry.name, reps, *params.fixed_cycles, entry.r->wall_min_s,
+        entry.r->wall_mean_s, entry.pct, entry.r->last.forwarded,
+        entry.r->last.syncs);
+    row.wall_seconds = entry.r->wall_min_s;
+    row.metrics_json = entry.r->last.metrics_json;
+    rows.push_back(std::move(row));
+  }
+
+  const std::string path = bench::json_output_path(
+      argc, argv, "BENCH_timeline_overhead.metrics.json");
+  if (bench::write_bench_json(path, "timeline_overhead", rows)) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "\nfailed to write %s\n", path.c_str());
+    return 2;
+  }
+
+  if (overhead_pct > 1.0) {
+    std::fprintf(stderr,
+                 "%s: disarmed timeline costs %.2f%% (budget 1%%)\n",
+                 gate ? "FAIL" : "WARN", overhead_pct);
+    if (gate) return 1;
+  } else {
+    std::printf("disarmed overhead %.2f%% — within the 1%% budget\n",
+                overhead_pct);
+  }
+  return 0;
+}

@@ -133,6 +133,7 @@ class Board {
   obs::Counter& dev_reads_;
   obs::Counter& dev_writes_;
   obs::LatencyHistogram& dev_read_ns_;
+  obs::SpanSink& spans_;
 
   rtos::Kernel kernel_;
   rtos::DeviceTable devtab_;
@@ -149,6 +150,15 @@ class Board {
   // (the idle loop would otherwise flood the trace).
   std::string slice_thread_;
   u64 slice_start_ns_ = 0;
+
+  // Cross-node timeline (wire v3, DESIGN.md §7.2): the round id of the last
+  // CLOCK_TICK, echoed on the next TIME_ACK, plus the rx/tx stamps backing
+  // the compute (tick→ack) and frozen (ack→next tick) spans. Touched only
+  // from the board's fibers (one host thread) — no synchronization needed.
+  std::optional<u64> round_;
+  u64 round_cycle_ = 0;
+  u64 tick_rx_ns_ = 0;
+  u64 ack_tx_ns_ = 0;
 
   bool booted_ = false;
 };

@@ -109,6 +109,11 @@ class CosimKernel {
     return board_lookahead_;
   }
 
+  /// Barrier rounds stamped so far (wire v3; 0 unless the hub's timeline is
+  /// enabled — round stamping is what grows the CLOCK/TIME_ACK frames, so
+  /// it is gated on the timeline switch to keep default runs byte-exact).
+  [[nodiscard]] u64 rounds() const { return round_; }
+
   /// Ends the co-simulation (sends SHUTDOWN if configured).
   void finish();
 
@@ -158,6 +163,7 @@ class CosimKernel {
   obs::Counter& lookahead_acks_;
   obs::LatencyHistogram& sync_rtt_ns_;
   obs::LatencyHistogram& grant_cycles_;
+  obs::SpanSink& spans_;  // timeline ring "cosim" (two-party spans)
 
   sim::Kernel kernel_;
   sim::Clock clock_;
@@ -170,6 +176,7 @@ class CosimKernel {
   std::optional<u64> board_lookahead_;  // from the latest TIME_ACK
 
   u64 cycle_ = 0;
+  u64 round_ = 0;  // wire-v3 round id of the latest CLOCK_TICK
   bool handshaken_ = false;
   bool finished_ = false;
 };

@@ -170,6 +170,14 @@ class FabricConfigBuilder {
     if (on) config_.obs.record.max_payload_bytes = 1u << 16;
     return *this;
   }
+  /// Arms the cross-node timeline (ObsConfig::timeline): per-round span
+  /// rings on both sides of every link plus wire-v3 round stamping on
+  /// CLOCK_TICK/TIME_ACK. Off by default — armed runs grow those frames,
+  /// so recordings are no longer byte-exact against unarmed ones.
+  FabricConfigBuilder& timeline(bool on = true) {
+    config_.obs.timeline.enabled = on;
+    return *this;
+  }
 
   /// Appends a board node; `t_sync` 0 inherits the fabric default.
   FabricConfigBuilder& add_node(std::string name = {}, u64 t_sync = 0);
@@ -269,9 +277,32 @@ class Fabric {
   void finish();
 
   /// One metrics document spanning the master hub (unprefixed) and every
-  /// node hub ("<name>." prefixes) — obs::merged_metrics_json.
+  /// node hub ("<name>." prefixes) — obs::merged_metrics_json. With the
+  /// timeline armed the document carries a top-level "timeline" object:
+  /// the critical-path analysis (per-node attribution, slowdown,
+  /// reconciliation) over the spans recorded so far.
   [[nodiscard]] std::string metrics_json();
   Status write_metrics_json(const std::string& path);
+
+  /// Merged span rings: the coordinator's spans from the master hub plus
+  /// every node hub's board-side spans re-stamped with their fabric node id
+  /// (a board records itself as node 0), sorted by start. All hubs share
+  /// the master's epoch, so the timestamps compare directly. Empty unless
+  /// ObsConfig::timeline is enabled.
+  [[nodiscard]] std::vector<obs::SpanRecord> timeline_spans();
+
+  /// node id -> resolved node name, as the analyzer and exporters want it.
+  [[nodiscard]] std::map<u32, std::string> node_names() const;
+
+  /// Critical-path analysis over timeline_spans().
+  [[nodiscard]] obs::TimelineAnalysis timeline_analysis();
+
+  /// Live telemetry: a TCP/JSON snapshot endpoint on the master hub whose
+  /// provider is the merged metrics_json() (timeline fragment included).
+  /// Port 0 binds an ephemeral port — read it back with telemetry_port().
+  /// Stopped by finish(). Serves `vhptrace top`.
+  Status serve_telemetry(u16 port = 0);
+  [[nodiscard]] u16 telemetry_port() { return hub_->telemetry_port(); }
 
   /// Writes the master-side recorder (all nodes' links, node-stamped) as
   /// "<prefix>.hw.vhprec" and each node's board-side recorder as

@@ -143,6 +143,12 @@ class SyncCoordinator {
   /// node is alive.
   Status rejoin(std::size_t node, u64 cycle);
 
+  /// Barrier rounds stamped on the wire so far (wire v3). 0 unless the
+  /// hub's timeline is enabled — round stamping grows the CLOCK/TIME_ACK
+  /// frames, so it is gated on the timeline switch to keep default runs
+  /// byte-exact. Monotone across eviction and rejoin.
+  [[nodiscard]] u64 rounds() const { return round_; }
+
   /// Barriers completed / ticks scattered / acks gathered / evictions.
   [[nodiscard]] u64 barriers() const { return barriers_.value(); }
   [[nodiscard]] u64 ticks_sent() const { return ticks_sent_.value(); }
@@ -177,6 +183,10 @@ class SyncCoordinator {
     obs::LatencyHistogram& grants; // fabric.<name>.grant_cycles
     bool alive = true;     // false once evicted
     u32 missed = 0;        // consecutive watchdog expiries while pending
+    // Timeline stamps of the current round: tick send and ack arrival,
+    // backing the per-node kNodeWait span. 0 when the timeline is off.
+    u64 tick_sent_ns = 0;
+    u64 ack_recv_ns = 0;
   };
 
   /// Marks the node dead and reports it (fabric.node_evicted).
@@ -205,8 +215,11 @@ class SyncCoordinator {
   obs::Counter& lookahead_acks_;
   obs::Counter& lookahead_unbounded_;
   obs::LatencyHistogram& barrier_wait_ns_;
+  obs::Timeline& timeline_;
+  obs::SpanSink& spans_;  // timeline ring "fabric" (coordinator-side spans)
 
   std::vector<Node> nodes_;
+  u64 round_ = 0;  // wire-v3 round id; monotone across rejoin
   bool handshaken_ = false;
 };
 

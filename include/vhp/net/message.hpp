@@ -58,15 +58,28 @@ struct IntRaise {
 
 /// Virtual tick: the kernel reached simulated cycle `sim_cycle` and grants
 /// the board `n_ticks` software ticks of execution (paper §4.2, T_sync).
+///
+/// Wire v3 (timeline tracing, DESIGN.md §7.2): the tick optionally carries
+/// the master's barrier *round* id so one synchronization exchange can be
+/// followed causally across nodes. Length-versioned like the lookahead field
+/// on TimeAck: a tick without a round is byte-identical to v1.
 struct ClockTick {
   u64 sim_cycle = 0;
   u32 n_ticks = 0;
+  std::optional<u64> round = std::nullopt;
   bool operator==(const ClockTick&) const = default;
 };
 
 /// TimeAck::lookahead value for "idle until data arrives": the board has no
 /// future event of its own scheduled.
 inline constexpr u64 kLookaheadUnbounded = ~u64{0};
+
+/// On-wire placeholder for "no lookahead advertised" in a v3 TimeAck. A v3
+/// ack always carries both trailing u64 fields (lookahead-or-sentinel, then
+/// round) so the 24-byte layout stays unambiguous; this sentinel marks the
+/// lookahead slot empty. Never appears in a decoded TimeAck::lookahead —
+/// the codec maps it back to nullopt.
+inline constexpr u64 kNoLookahead = ~u64{0} - 1;
 
 /// Board answer: it consumed its tick budget and froze at `board_tick`.
 ///
@@ -78,9 +91,17 @@ inline constexpr u64 kLookaheadUnbounded = ~u64{0};
 /// the old format, and a v1 decoder never sees the extra field unless the
 /// sender advertises — so mixed-version peers interoperate as long as
 /// adaptive mode is only enabled against v2 boards.
+///
+/// Wire v3 (timeline tracing): when the board echoes the round id it saw on
+/// the granting CLOCK_TICK, the ack payload grows to 24 bytes — board_tick,
+/// then lookahead (or kNoLookahead when none is advertised), then round.
+/// Versioning stays by length: 8 bytes = v1, 16 = v2, 24 = v3; a board that
+/// never receives a round keeps emitting v1/v2 acks, so mixed-version
+/// parties interoperate bit-exactly.
 struct TimeAck {
   u64 board_tick = 0;
   std::optional<u64> lookahead = std::nullopt;
+  std::optional<u64> round = std::nullopt;
   bool operator==(const TimeAck&) const = default;
 };
 

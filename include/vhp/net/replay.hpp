@@ -20,9 +20,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "vhp/net/channel.hpp"
 #include "vhp/obs/recording.hpp"
+#include "vhp/obs/timeline.hpp"
 
 namespace vhp::net {
 
@@ -40,6 +42,21 @@ namespace vhp::net {
 /// Lives here rather than in vhp::obs because decoding frames needs the
 /// protocol codec. Empty string when the recording holds no CLOCK frames.
 [[nodiscard]] std::string grant_stats_text(const obs::Recording& recording);
+
+/// Offline timeline extraction: reconstructs per-round SpanRecords from a
+/// master-side ("hw") recording's CLOCK traffic, optionally joined with
+/// board-side recordings for the compute/frozen phases. Rounds are grouped
+/// by ClockTick::sim_cycle — a barrier ticks every due node at one master
+/// cycle — so v1/v2 recordings (no wire round id) analyze too; when ticks
+/// carry a wire-v3 round it is used verbatim. Wall stamps come from
+/// FrameRecord::wall_ns: the fabric re-bases every recorder onto the master
+/// epoch, so hw- and board-side spans share one clock. Feeds the same
+/// analyzer as the live timeline (obs::analyze_spans) — this is what
+/// `vhptrace timeline`/`critical` run on a .vhprec set. Lives here because
+/// extraction needs the protocol codec.
+[[nodiscard]] std::vector<obs::SpanRecord> timeline_from_recordings(
+    const obs::Recording& hw,
+    const std::vector<obs::Recording>& boards = {});
 
 struct ReplayOptions {
   /// The live side's virtual clock (CosimKernel::cycle or the board's tick

@@ -99,6 +99,17 @@ class FlightRecorder {
   void set_hw_time_source(std::function<u64()> source);
   void set_board_time_source(std::function<u64()> source);
 
+  /// Wall-clock origin of FrameRecord::wall_ns. The fabric re-bases every
+  /// node recorder's epoch onto the master's so frames from different sides
+  /// share one clock; call before any traffic is recorded (the record path
+  /// reads the epoch without the lock).
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
+  void set_epoch(std::chrono::steady_clock::time_point epoch) {
+    epoch_ = epoch;
+  }
+
   /// Appends one frame to the ring (no-op when disabled). `node` labels the
   /// fabric node whose link carried the frame; the classic two-party link
   /// records everything as node 0.

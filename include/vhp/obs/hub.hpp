@@ -20,6 +20,8 @@
 #include "vhp/obs/flight_recorder.hpp"
 #include "vhp/obs/metrics.hpp"
 #include "vhp/obs/stall_profiler.hpp"
+#include "vhp/obs/telemetry.hpp"
+#include "vhp/obs/timeline.hpp"
 #include "vhp/obs/trace.hpp"
 
 namespace vhp::obs {
@@ -35,6 +37,10 @@ struct ObsConfig {
   /// Flight recorder: independent of `enabled` — ring-only frame capture is
   /// cheap enough to leave on while the costly instruments stay off.
   FlightRecorderConfig record{};
+  /// Cross-node round/span tracing: independent of `enabled` for the same
+  /// reason as the recorder — disarmed it costs one branch per call site and
+  /// keeps the wire format round-free (v1/v2 byte-identical).
+  TimelineConfig timeline{};
 };
 
 class Hub {
@@ -55,6 +61,20 @@ class Hub {
   /// enabled). The session wires these into the link via net::record_link.
   [[nodiscard]] FlightRecorder& hw_recorder() { return hw_recorder_; }
   [[nodiscard]] FlightRecorder& board_recorder() { return board_recorder_; }
+
+  /// Cross-node causal timeline (rings stay empty unless config.timeline is
+  /// enabled). Coordinator/kernel/board resolve their SpanSinks here.
+  [[nodiscard]] Timeline& timeline() { return timeline_; }
+
+  /// Starts the live telemetry endpoint on 127.0.0.1:`port` (0 = ephemeral,
+  /// read back via telemetry_port()), serving this hub's metrics_json() per
+  /// connection. `provider` overrides the served document — the fabric
+  /// passes its merged multi-hub dump.
+  Status serve_telemetry(u16 port = 0,
+                         TelemetryServer::Provider provider = {});
+  void stop_telemetry();
+  [[nodiscard]] u16 telemetry_port() const { return telemetry_.port(); }
+  [[nodiscard]] TelemetryServer& telemetry() { return telemetry_; }
 
   /// Registers a pre-dump hook: called by metrics_json() so lazily-computed
   /// series (RTOS kernel totals, profiler buckets) are fresh in the dump.
@@ -90,6 +110,8 @@ class Hub {
   StallProfiler profiler_;
   FlightRecorder hw_recorder_;
   FlightRecorder board_recorder_;
+  Timeline timeline_;
+  TelemetryServer telemetry_;
 
   std::mutex collectors_mu_;
   std::vector<std::function<void(MetricsRegistry&)>> collectors_;

@@ -91,6 +91,12 @@ class LatencyHistogram {
   [[nodiscard]] static u64 bucket_floor_ns(std::size_t i) {
     return i == 0 ? 0 : u64{1} << i;
   }
+  /// Conservative quantile estimate from the power-of-two buckets: the
+  /// inclusive *upper* edge of the bucket where the cumulative count reaches
+  /// ceil(q * count), so "p95_ns() == v" reads "at least 95% of samples were
+  /// ≤ v". Bucket resolution bounds the error to one octave. 0 when empty;
+  /// `q` is clamped to (0, 1].
+  [[nodiscard]] u64 percentile_ns(double q) const;
 
  private:
   std::array<std::atomic<u64>, kBuckets> buckets_{};

@@ -1,0 +1,105 @@
+// Live telemetry endpoint: a tiny TCP/JSON snapshot server plus the snapshot
+// parsing/rendering helpers behind `vhptrace top` (DESIGN.md §7.2).
+//
+// Protocol, deliberately minimal: a client connects to the loopback port,
+// the server writes ONE frame — u32 little-endian length + the hub's
+// metrics JSON document — and closes. A refreshing viewer reconnects per
+// sample; rates are computed client-side from successive snapshots. The
+// framing matches net::Channel's, so net::connect_tcp_channel() + recv()
+// is a complete client.
+//
+// Lives in vhp::obs (not vhp::net) because the Hub owns it and vhp_net
+// already links against vhp_obs; the server therefore speaks raw POSIX
+// sockets. It runs one background thread that only ever touches the
+// provider callback — keep providers to read-only snapshots (metrics_json
+// is).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "vhp/common/status.hpp"
+#include "vhp/common/types.hpp"
+
+namespace vhp::obs {
+
+/// One-shot-per-connection JSON snapshot server on 127.0.0.1.
+class TelemetryServer {
+ public:
+  /// Produces the document served to each connection; called on the server
+  /// thread, so it must be safe against the instrumented run (Hub's
+  /// metrics_json is).
+  using Provider = std::function<std::string()>;
+
+  TelemetryServer() = default;
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
+  /// accept thread. kFailedPrecondition if already running.
+  Status start(Provider provider, u16 port = 0);
+
+  /// Stops the accept thread and closes the listening socket. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  /// Bound port (0 when not running).
+  [[nodiscard]] u16 port() const { return port_; }
+  /// Snapshots served so far.
+  [[nodiscard]] u64 served() const { return served_.load(); }
+
+ private:
+  void serve_loop();
+
+  Provider provider_;
+  int listen_fd_ = -1;
+  u16 port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<u64> served_{0};
+  std::thread thread_;
+};
+
+/// Summary row of one histogram in a parsed snapshot.
+struct HistogramSnapshot {
+  u64 count = 0;
+  u64 sum_ns = 0;
+  u64 p50_ns = 0;
+  u64 p95_ns = 0;
+  u64 p99_ns = 0;
+  [[nodiscard]] double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) /
+                            static_cast<double>(count);
+  }
+};
+
+/// Flat view over one served metrics document. Parsed with a scanner
+/// specific to MetricsRegistry::to_json()'s machine-generated shape — not a
+/// general JSON parser.
+struct TelemetrySnapshot {
+  bool ok = false;
+  std::map<std::string, u64> counters;
+  std::map<std::string, i64> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] u64 counter(std::string_view name) const;
+  [[nodiscard]] i64 gauge(std::string_view name) const;
+};
+
+[[nodiscard]] TelemetrySnapshot parse_metrics_snapshot(std::string_view json);
+
+/// `vhptrace top` body: fabric totals (round rate, barrier waits, faults)
+/// plus one row per node (ack rate, grant sizes). `prev` + `dt_s` enable
+/// the rate columns; pass nullptr for a single absolute snapshot.
+[[nodiscard]] std::string telemetry_top_text(const TelemetrySnapshot& cur,
+                                             const TelemetrySnapshot* prev,
+                                             double dt_s);
+
+}  // namespace vhp::obs

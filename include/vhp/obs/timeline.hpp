@@ -1,0 +1,205 @@
+// Cross-node causal timeline for the co-simulation fabric (DESIGN.md §7.2).
+//
+// The paper's headline cost metric is slowdown versus real time; the barrier
+// histograms say *that* a round was slow, this layer says *why*. Every
+// barrier round gets a round id (stamped on CLOCK_TICK, echoed on TIME_ACK —
+// wire v3, length-versioned like the v2 lookahead), and both sides record
+// per-round SpanRecords into fixed-size rings: the coordinator's scatter /
+// gather / per-node wait phases and each board's compute (tick-rx → ack-tx)
+// and frozen phases. The analyzer joins the spans on (round, node) and
+// decomposes fabric wall-clock into compute / wait / transport per node,
+// names the per-round straggler, and reports the slowdown factor.
+//
+// Cost model (flight-recorder discipline): when disabled — the default —
+// every record call is one branch on a const bool, no clock read. When
+// enabled, a record is two steady_clock reads bracketing the phase plus one
+// mutex-guarded store into a pre-sized ring; the ring overwrites oldest and
+// counts drops, so a forgotten timeline can never grow without bound.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vhp/common/types.hpp"
+
+namespace vhp::obs {
+
+class MetricsRegistry;
+
+/// Phase of one barrier round, on either side of the link.
+enum class SpanPhase : u8 {
+  kScatter = 0,   // coordinator: CLOCK_TICK sends for this round
+  kGather = 1,    // coordinator: first send until last TIME_ACK
+  kNodeWait = 2,  // coordinator: node's tick send until its ack arrival
+  kCompute = 3,   // board: tick receive until ack send (granted execution)
+  kFrozen = 4,    // board: ack send until the next tick receive
+  kBarrier = 5,   // coordinator: the whole round (scatter + gather)
+};
+
+[[nodiscard]] std::string_view to_string(SpanPhase p);
+
+/// One recorded phase of one round on one node. Timestamps are nanoseconds
+/// on the owning Timeline's epoch (fabric aligns all node epochs to the
+/// master's, so spans from different rings compare directly).
+struct SpanRecord {
+  u64 round = 0;
+  u32 node = 0;
+  SpanPhase phase = SpanPhase::kBarrier;
+  u64 start_ns = 0;
+  u64 end_ns = 0;
+  /// Master sim-cycle of the round's grant (ClockTick::sim_cycle); lets the
+  /// analyzer convert wall spans into the paper's slowdown factor.
+  u64 cycle = 0;
+};
+
+struct TimelineConfig {
+  /// Master switch: off keeps every record call a single branch and keeps
+  /// CLOCK/TIME_ACK frames byte-identical to wire v1/v2 (no round stamped).
+  bool enabled = false;
+  /// Ring capacity per sink; oldest spans are overwritten and counted.
+  std::size_t ring_spans = 1u << 13;
+};
+
+/// Fixed-size overwrite-oldest span ring. One sink per recording thread
+/// (coordinator, each board) so hot-path contention is a short uncontended
+/// lock; snapshot() is the only cross-thread reader.
+class SpanSink {
+ public:
+  SpanSink(const TimelineConfig& config, std::string name);
+
+  SpanSink(const SpanSink&) = delete;
+  SpanSink& operator=(const SpanSink&) = delete;
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void record(const SpanRecord& span);
+
+  [[nodiscard]] u64 recorded() const;
+  [[nodiscard]] u64 dropped() const;
+
+  /// Ring contents oldest-first.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+ private:
+  TimelineConfig config_;
+  std::string name_;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;
+  u64 recorded_ = 0;
+  u64 dropped_ = 0;
+};
+
+/// The per-hub timeline: a shared epoch plus named sinks. Owned by obs::Hub;
+/// the fabric re-bases every node hub's epoch onto the master's at
+/// construction so cross-hub spans share one clock.
+class Timeline {
+ public:
+  explicit Timeline(TimelineConfig config = {});
+
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const TimelineConfig& config() const { return config_; }
+
+  /// Nanoseconds since epoch (steady clock). Callers on the hot path must
+  /// branch on enabled() first — this always reads the clock.
+  [[nodiscard]] u64 now_ns() const;
+
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const;
+  void set_epoch(std::chrono::steady_clock::time_point epoch);
+
+  /// Get-or-create a named sink ("fabric", "board", "cosim"). The reference
+  /// stays valid for the Timeline's lifetime; resolve once at construction.
+  [[nodiscard]] SpanSink& sink(std::string_view name);
+
+  /// All sinks' rings merged, sorted by start_ns.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Gauges `timeline.spans` / `timeline.dropped_spans` (totals across
+  /// sinks); called from Hub::collect() when the timeline is enabled.
+  void export_to(MetricsRegistry& registry) const;
+
+ private:
+  TimelineConfig config_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;  // guards the sink list, not the sinks
+  std::vector<std::unique_ptr<SpanSink>> sinks_;
+};
+
+/// One barrier round as the analyzer sees it.
+struct RoundSummary {
+  u64 round = 0;
+  u64 cycle = 0;     // grant sim-cycle
+  u64 start_ns = 0;  // earliest span start in the round
+  u64 end_ns = 0;    // latest span end
+  u32 nodes = 0;     // parties seen this round
+  /// Straggler chain: the node whose ack closed the round, and how long the
+  /// coordinator waited on it beyond the fastest node's ack.
+  u32 straggler = 0;
+  u64 straggler_wait_ns = 0;
+};
+
+/// Per-node wall-clock attribution across the analyzed window.
+struct NodeAttribution {
+  u32 node = 0;
+  std::string name;
+  u64 rounds = 0;
+  u64 wait_ns = 0;       // coordinator-side: tick send → ack arrival
+  u64 compute_ns = 0;    // board-side: tick receive → ack send
+  u64 transport_ns = 0;  // wait − compute, clamped at 0 (wire + queueing)
+  u64 straggler_rounds = 0;  // rounds this node closed
+};
+
+/// Whole-window decomposition: where did the fabric's wall-clock go?
+struct TimelineAnalysis {
+  std::vector<RoundSummary> rounds;
+  std::vector<NodeAttribution> nodes;
+  u64 wall_ns = 0;            // first span start → last span end
+  u64 barrier_wall_ns = 0;    // Σ per-round (max wait across nodes)
+  u64 master_compute_ns = 0;  // wall − barrier_wall: master sim + data
+  u64 virtual_cycles = 0;     // last grant cycle − first grant cycle
+  /// Wall time per simulated cycle; with the 1 GHz reference (1 cycle ≡
+  /// 1 ns, DESIGN.md §7.2) this is the paper's slowdown factor.
+  double slowdown = 0.0;
+  /// |Σ attributed − wall| / wall: how well the per-node decomposition
+  /// reconciles with total fabric wall-clock (acceptance gate: ≤ 5%).
+  double reconciliation_error = 0.0;
+};
+
+/// Joins coordinator- and board-side spans on (round, node). `node_names`
+/// maps node id → display name (missing ids render as "node<i>").
+[[nodiscard]] TimelineAnalysis analyze_spans(
+    const std::vector<SpanRecord>& spans,
+    const std::map<u32, std::string>& node_names = {});
+
+/// Per-round table: round id, grant cycle, duration, straggler.
+[[nodiscard]] std::string timeline_report_text(const TimelineAnalysis& a,
+                                               std::size_t max_rounds = 32);
+
+/// Critical-path report: per-node compute/wait/transport decomposition,
+/// straggler ranking, slowdown factor, reconciliation.
+[[nodiscard]] std::string critical_report_text(const TimelineAnalysis& a);
+
+/// The analysis as one JSON object (rounds elided, per-node attribution +
+/// totals); Fabric::metrics_json() embeds it under a "timeline" key.
+[[nodiscard]] std::string timeline_analysis_json(const TimelineAnalysis& a);
+
+/// Chrome trace_event JSON with one track per node (master phases on tid 1,
+/// node n's spans on tid n+2), timestamps in microseconds.
+[[nodiscard]] std::string spans_to_chrome_json(
+    const std::vector<SpanRecord>& spans,
+    const std::map<u32, std::string>& node_names = {});
+
+}  // namespace vhp::obs

@@ -49,4 +49,25 @@ echo "==== [adaptive] bench gate ===="
 cmake --build --preset default -j "$jobs" --target fabric_scale
 ./build/bench/fabric_scale --gate --inproc --json /tmp/fabric_scale_gate.metrics.json
 
+# Causal-timeline gate (ISSUE 7), same shape: the timeline suites plus the
+# vhptrace CLI contract (-L timeline matches "timeline" and
+# "timeline-tsan"), the fiber-free half under ThreadSanitizer, the
+# timeline_overhead bench (--gate fails if a *disarmed* timeline costs more
+# than 1% wall time), and a recorded fabric run driven through
+# `vhptrace critical --gate 5` — the offline decomposition must reconcile
+# with total fabric wall-clock within 5%.
+echo "==== [timeline] release gate ===="
+ctest --preset default -L timeline "$@"
+echo "==== [timeline] tsan gate ===="
+ctest --preset tsan -L timeline-tsan "$@"
+echo "==== [timeline] bench gate ===="
+cmake --build --preset default -j "$jobs" --target timeline_overhead fabric_scale vhptrace
+./build/bench/timeline_overhead --gate --quick --json /tmp/timeline_overhead_gate.metrics.json
+echo "==== [timeline] critical-path smoke ===="
+rm -f /tmp/vhp_timeline_smoke.*.vhprec
+./build/bench/fabric_scale --quick --inproc --record /tmp/vhp_timeline_smoke \
+  --json /tmp/fabric_scale_record.metrics.json
+./build/tools/vhptrace critical --gate 5 /tmp/vhp_timeline_smoke.hw.vhprec \
+  /tmp/vhp_timeline_smoke.node*.board.vhprec
+
 echo "All presets passed."

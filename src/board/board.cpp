@@ -47,6 +47,8 @@ Board::Board(BoardConfig config, net::CosimLink link, obs::Hub* hub)
       dev_reads_(hub_->metrics().counter("board.dev_reads")),
       dev_writes_(hub_->metrics().counter("board.dev_writes")),
       dev_read_ns_(hub_->metrics().histogram("board.dev_read_ns")),
+      spans_(hub_->timeline().sink(config.name.empty() ? "board"
+                                                       : config.name)),
       kernel_(apply_mode(config.rtos, config.free_running)) {
   data_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.data, "data");
   int_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.intr, "int");
@@ -87,6 +89,17 @@ Board::Board(BoardConfig config, net::CosimLink link, obs::Hub* hub)
       } else {
         ack.lookahead = net::kLookaheadUnbounded;
       }
+    }
+    // Wire v3: echo the round id of the grant this freeze answers, so the
+    // ack can be joined to its CLOCK_TICK across the fabric. A boot freeze
+    // (no tick seen yet) stays a v1/v2 ack.
+    ack.round = round_;
+    obs::Timeline& timeline = hub_->timeline();
+    if (timeline.enabled() && round_.has_value()) {
+      const u64 now = timeline.now_ns();
+      spans_.record({*round_, 0, obs::SpanPhase::kCompute, tick_rx_ns_, now,
+                     round_cycle_});
+      ack_tx_ns_ = now;
     }
     Status s = net::send_msg(*link_.clock, ack);
     if (!s.ok()) log_.warn("TIME_ACK send failed: {}", s.to_string());
@@ -222,6 +235,17 @@ void Board::systemc_thread_body() {
             hub_->tracer().instant("board.clock_tick", "board",
                                    tick->sim_cycle, "sim_cycle");
           }
+          obs::Timeline& timeline = hub_->timeline();
+          if (timeline.enabled()) {
+            const u64 now = timeline.now_ns();
+            if (round_.has_value() && ack_tx_ns_ != 0) {
+              spans_.record({*round_, 0, obs::SpanPhase::kFrozen, ack_tx_ns_,
+                             now, round_cycle_});
+            }
+            tick_rx_ns_ = now;
+          }
+          round_ = tick->round;
+          round_cycle_ = tick->sim_cycle;
           kernel_.grant_cycles(static_cast<u64>(tick->n_ticks) *
                                config_.cycles_per_sim_cycle);
         } else if (std::holds_alternative<net::Shutdown>(msg.value())) {

@@ -39,6 +39,7 @@ CosimKernel::CosimKernel(net::CosimLink link, CosimConfig config,
       lookahead_acks_(hub_->metrics().counter("cosim.lookahead_acks")),
       sync_rtt_ns_(hub_->metrics().histogram("cosim.sync_rtt_ns")),
       grant_cycles_(hub_->metrics().histogram("cosim.grant_cycles")),
+      spans_(hub_->timeline().sink("cosim")),
       // Guard against a zero period before sim::Clock divides by it; the
       // invalid config is surfaced by run_cycles()/handshake().
       clock_(kernel_, "clk",
@@ -141,9 +142,15 @@ Status CosimKernel::sync_with_board() {
   // always the quantum, in adaptive mode whatever the last lookahead earned.
   const u64 elapsed = cycle_ - last_granted_;
   grant_cycles_.record_ns(elapsed);
-  Status s = net::send_msg(
-      *link_.clock, net::ClockTick{cycle_, static_cast<u32>(elapsed)});
+  // Wire v3: stamp the round only when the timeline is armed, so default
+  // runs keep the v1/v2 frame bytes (bit-exact recording parity).
+  obs::Timeline& timeline = hub_->timeline();
+  const bool timed_spans = timeline.enabled();
+  net::ClockTick tick{cycle_, static_cast<u32>(elapsed)};
+  if (timed_spans) tick.round = ++round_;
+  Status s = net::send_msg(*link_.clock, tick);
   if (!s.ok()) return s;
+  const u64 tick_sent_ns = timed_spans ? timeline.now_ns() : 0;
   last_granted_ = cycle_;
   // Wait for the ack; keep the DATA port alive so a board thread blocked on
   // a device read mid-quantum still gets its response (deadlock freedom).
@@ -160,6 +167,13 @@ Status CosimKernel::sync_with_board() {
       acks_received_.inc();
       note_ack(*time_ack);
       next_sync_ = cycle_ + policy_.grant(0, cycle_, board_lookahead_);
+      if (timed_spans) {
+        const u64 now = timeline.now_ns();
+        spans_.record({round_, 0, obs::SpanPhase::kNodeWait, tick_sent_ns,
+                       now, cycle_});
+        spans_.record({round_, 0, obs::SpanPhase::kBarrier, tick_sent_ns,
+                       now, cycle_});
+      }
       if (tracer.enabled()) {
         const u64 span_end = tracer.now_ns();
         sync_rtt_ns_.record_ns(span_end - span_start);

@@ -1,5 +1,6 @@
 #include "vhp/fabric/fabric.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
@@ -169,6 +170,11 @@ Fabric::Fabric(FabricConfig config)
     const std::string& name = node->config.name;
 
     node->hub = std::make_unique<obs::Hub>(config_.obs);
+    // One clock across the fabric: node-side spans and recorded frames
+    // timestamp against the master's epochs, so cross-hub records compare
+    // directly (the analyzer joins them on wall time).
+    node->hub->timeline().set_epoch(hub_->timeline().epoch());
+    node->hub->board_recorder().set_epoch(hub_->hw_recorder().epoch());
     node->registry = std::make_unique<cosim::DriverRegistry>();
 
     net::CosimLink hw_side = std::move(links[i].hw);
@@ -384,6 +390,9 @@ Status Fabric::run_cycles(u64 cycles) {
 void Fabric::finish() {
   if (finished_) return;
   finished_ = true;
+  // The telemetry provider reaches back into this Fabric; stop it before
+  // anything it reads starts tearing down.
+  hub_->stop_telemetry();
   if (config_.shutdown_on_finish) coordinator_->shutdown();
   // An evicted node's board thread may still be blocked on its CLOCK
   // channel: try a best-effort SHUTDOWN, then close our side so the peer
@@ -408,7 +417,47 @@ std::string Fabric::metrics_json() {
   for (auto& node : nodes_) {
     hubs.emplace_back(node->config.name + ".", node->hub.get());
   }
-  return obs::merged_metrics_json(hubs);
+  std::string doc = obs::merged_metrics_json(hubs);
+  if (hub_->timeline().enabled() && !doc.empty() && doc.back() == '}') {
+    doc.insert(doc.size() - 1, ",\"timeline\":" +
+                                   obs::timeline_analysis_json(
+                                       timeline_analysis()));
+  }
+  return doc;
+}
+
+std::vector<obs::SpanRecord> Fabric::timeline_spans() {
+  std::vector<obs::SpanRecord> spans = hub_->timeline().snapshot();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Each board records its spans as node 0 (it cannot know its fabric
+    // slot); re-stamp them with the slot id so the analyzer joins them
+    // against the coordinator's per-node waits.
+    for (obs::SpanRecord s : nodes_[i]->hub->timeline().snapshot()) {
+      s.node = static_cast<u32>(i);
+      spans.push_back(s);
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return spans;
+}
+
+std::map<u32, std::string> Fabric::node_names() const {
+  std::map<u32, std::string> names;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    names[static_cast<u32>(i)] = nodes_[i]->config.name;
+  }
+  return names;
+}
+
+obs::TimelineAnalysis Fabric::timeline_analysis() {
+  return obs::analyze_spans(timeline_spans(), node_names());
+}
+
+Status Fabric::serve_telemetry(u16 port) {
+  return hub_->serve_telemetry(port, [this] { return metrics_json(); });
 }
 
 Status Fabric::write_metrics_json(const std::string& path) {

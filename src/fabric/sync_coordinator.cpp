@@ -65,7 +65,9 @@ SyncCoordinator::SyncCoordinator(cosim::SyncPolicy policy,
       lookahead_acks_(hub_->metrics().counter("fabric.lookahead_acks")),
       lookahead_unbounded_(
           hub_->metrics().counter("fabric.lookahead_unbounded")),
-      barrier_wait_ns_(hub_->metrics().histogram("fabric.barrier_wait_ns")) {
+      barrier_wait_ns_(hub_->metrics().histogram("fabric.barrier_wait_ns")),
+      timeline_(hub_->timeline()),
+      spans_(timeline_.sink("fabric")) {
   if (!config_status_.ok()) {
     log_.warn("invalid config: {}", config_status_.to_string());
   }
@@ -193,6 +195,12 @@ Status SyncCoordinator::run_barrier(u64 cycle,
   obs::Tracer& tracer = hub_->tracer();
   const u64 span_start = tracer.enabled() ? tracer.now_ns() : 0;
   const auto wait_start = std::chrono::steady_clock::now();
+  // Wire v3: stamp the round only when the timeline is armed, so default
+  // runs keep the v1/v2 frame bytes (bit-exact recording parity). Boards
+  // echo whatever they received, so mixed stamped/unstamped parties mix.
+  const bool timed_spans = timeline_.enabled();
+  const u64 round = timed_spans ? ++round_ : 0;
+  const u64 scatter_start = timed_spans ? timeline_.now_ns() : 0;
 
   // Scatter: one CLOCK_TICK per due node, granting the cycles elapsed since
   // its previous grant (== its quantum unless due-cycles coincide oddly).
@@ -201,8 +209,9 @@ Status SyncCoordinator::run_barrier(u64 cycle,
     Node& node = nodes_[i];
     if (!node.alive || node.next_due > cycle) continue;
     const u64 elapsed = cycle - node.last_granted;
-    Status s = net::send_msg(
-        *node.clock, net::ClockTick{cycle, static_cast<u32>(elapsed)});
+    net::ClockTick tick{cycle, static_cast<u32>(elapsed)};
+    if (timed_spans) tick.round = round;
+    Status s = net::send_msg(*node.clock, tick);
     if (!s.ok()) {
       if (config_.evict_after_misses > 0) {
         // Under the eviction policy a dead transport degrades like a
@@ -216,11 +225,16 @@ Status SyncCoordinator::run_barrier(u64 cycle,
     ticks_sent_.inc();
     node.grants.record_ns(elapsed);  // grant-size distribution, in cycles
     node.last_granted = cycle;
+    if (timed_spans) {
+      node.tick_sent_ns = timeline_.now_ns();
+      node.ack_recv_ns = 0;
+    }
     // Provisional fixed-cadence due-cycle; re-based from the fresh ack's
     // lookahead once the gather delivers it.
     node.next_due = cycle + node.quantum;
     pending.push_back(i);
   }
+  const u64 scatter_end = timed_spans ? timeline_.now_ns() : 0;
 
   const std::vector<std::size_t> ticked = pending;
   Status s = gather(std::move(pending), service);
@@ -241,6 +255,24 @@ Status SyncCoordinator::run_barrier(u64 cycle,
       std::chrono::duration_cast<std::chrono::nanoseconds>(wait_end -
                                                            wait_start)
           .count()));
+  if (timed_spans && !ticked.empty()) {
+    const u64 now = timeline_.now_ns();
+    spans_.record({round, 0, obs::SpanPhase::kScatter, scatter_start,
+                   scatter_end, cycle});
+    u64 last_ack = scatter_end;
+    for (std::size_t i : ticked) {
+      const Node& node = nodes_[i];
+      // Evicted-mid-gather nodes never acked; they carry no wait span.
+      if (!node.alive || node.ack_recv_ns < node.tick_sent_ns) continue;
+      spans_.record({round, static_cast<u32>(i), obs::SpanPhase::kNodeWait,
+                     node.tick_sent_ns, node.ack_recv_ns, cycle});
+      last_ack = std::max(last_ack, node.ack_recv_ns);
+    }
+    spans_.record({round, 0, obs::SpanPhase::kGather, scatter_end, last_ack,
+                   cycle});
+    spans_.record({round, 0, obs::SpanPhase::kBarrier, scatter_start, now,
+                   cycle});
+  }
   if (tracer.enabled()) {
     tracer.complete("fabric.barrier", "fabric", span_start, tracer.now_ns(),
                     cycle, "cycle");
@@ -288,6 +320,7 @@ Status SyncCoordinator::gather(std::vector<std::size_t> pending,
       node.lookahead = time_ack->lookahead;
       note_lookahead(node.lookahead);
       node.missed = 0;
+      if (timeline_.enabled()) node.ack_recv_ns = timeline_.now_ns();
       pending[p] = pending.back();
       pending.pop_back();
       progressed = true;

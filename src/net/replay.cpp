@@ -1,6 +1,7 @@
 #include "vhp/net/replay.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <thread>
 
@@ -83,9 +84,19 @@ std::string message_field_diff(const FrameRecord& expected,
       const auto& y = std::get<ClockTick>(b);
       std::string d =
           field_diff("ClockTick", "sim_cycle", x.sim_cycle, y.sim_cycle);
-      return d.empty()
-                 ? field_diff("ClockTick", "n_ticks", x.n_ticks, y.n_ticks)
-                 : d;
+      if (d.empty()) {
+        d = field_diff("ClockTick", "n_ticks", x.n_ticks, y.n_ticks);
+      }
+      if (d.empty() && x.round != y.round) {
+        // Wire v3: an armed-timeline party against an unarmed recording
+        // (or mismatched round ids) is a divergence like any other field.
+        const auto show = [](const std::optional<u64>& v) {
+          return v.has_value() ? strformat("{}", *v) : std::string("none");
+        };
+        d = strformat("ClockTick.round: {} vs {}", show(x.round),
+                      show(y.round));
+      }
+      return d;
     }
     case MsgType::kTimeAck: {
       const auto& x = std::get<TimeAck>(a);
@@ -103,6 +114,13 @@ std::string message_field_diff(const FrameRecord& expected,
         };
         return strformat("TimeAck.lookahead: {} vs {}", show(x.lookahead),
                          show(y.lookahead));
+      }
+      if (x.round != y.round) {
+        const auto show = [](const std::optional<u64>& v) {
+          return v.has_value() ? strformat("{}", *v) : std::string("none");
+        };
+        return strformat("TimeAck.round: {} vs {}", show(x.round),
+                         show(y.round));
       }
       return {};
     }
@@ -155,6 +173,146 @@ std::string grant_stats_text(const obs::Recording& recording) {
     out += "\n";
   }
   return out;
+}
+
+std::vector<obs::SpanRecord> timeline_from_recordings(
+    const obs::Recording& hw, const std::vector<obs::Recording>& boards) {
+  std::vector<obs::SpanRecord> spans;
+
+  // Rounds keyed by the grant's master sim-cycle: one barrier ticks every
+  // due node at one cycle, so the key groups a round's scatter even on
+  // v1/v2 recordings that carry no wire round id.
+  struct Round {
+    u64 id = 0;
+    u64 first_tx = ~u64{0};
+    u64 last_tx = 0;
+    u64 last_rx = 0;
+  };
+  std::map<u64, Round> rounds;
+  u64 next_round = 0;
+
+  struct PendingTick {
+    u64 cycle = 0;
+    u64 wall_ns = 0;
+    u64 round = 0;
+  };
+  std::map<u32, std::deque<PendingTick>> pending;  // per node, FIFO
+
+  std::vector<const FrameRecord*> clock_frames;
+  for (const FrameRecord& f : hw.frames) {
+    if (f.port == LinkPort::kClock && !f.truncated &&
+        (f.flags & obs::kFrameFlagInjected) == 0) {
+      clock_frames.push_back(&f);
+    }
+  }
+  std::sort(clock_frames.begin(), clock_frames.end(),
+            [](const FrameRecord* a, const FrameRecord* b) {
+              return a->seq < b->seq;
+            });
+
+  for (const FrameRecord* f : clock_frames) {
+    auto msg = decode(f->payload);
+    if (!msg.ok()) continue;
+    if (const auto* tick = std::get_if<ClockTick>(&msg.value())) {
+      if (f->dir != LinkDir::kTx) continue;
+      auto [it, fresh] = rounds.try_emplace(tick->sim_cycle);
+      Round& r = it->second;
+      if (fresh) {
+        r.id = tick->round.has_value() ? *tick->round : ++next_round;
+        next_round = std::max(next_round, r.id);
+      }
+      r.first_tx = std::min(r.first_tx, f->wall_ns);
+      r.last_tx = std::max(r.last_tx, f->wall_ns);
+      pending[f->node].push_back({tick->sim_cycle, f->wall_ns, r.id});
+    } else if (std::holds_alternative<TimeAck>(msg.value())) {
+      if (f->dir != LinkDir::kRx) continue;
+      auto& fifo = pending[f->node];
+      // The boot-handshake ack precedes any tick; nothing to join it with.
+      if (fifo.empty()) continue;
+      const PendingTick p = fifo.front();
+      fifo.pop_front();
+      spans.push_back({p.round, f->node, obs::SpanPhase::kNodeWait, p.wall_ns,
+                       f->wall_ns, p.cycle});
+      rounds[p.cycle].last_rx = std::max(rounds[p.cycle].last_rx, f->wall_ns);
+    }
+  }
+
+  for (const auto& [cycle, r] : rounds) {
+    if (r.first_tx == ~u64{0}) continue;
+    const u64 end = std::max(r.last_tx, r.last_rx);
+    spans.push_back(
+        {r.id, 0, obs::SpanPhase::kScatter, r.first_tx, r.last_tx, cycle});
+    if (r.last_rx != 0) {
+      spans.push_back(
+          {r.id, 0, obs::SpanPhase::kGather, r.last_tx, r.last_rx, cycle});
+    }
+    spans.push_back(
+        {r.id, 0, obs::SpanPhase::kBarrier, r.first_tx, end, cycle});
+  }
+
+  // Board sides: tick receive -> ack send is the compute phase; ack send ->
+  // next tick receive is frozen. Board frames carry their fabric node id
+  // (net::record_link stamps both sides), 0 on a two-party link.
+  for (const obs::Recording& board : boards) {
+    struct BoardState {
+      std::optional<PendingTick> tick;  // rx tick awaiting its ack
+      u64 prev_ack_ns = 0;              // last ack tx, opens the frozen span
+      u64 prev_round = 0;
+      // The boot-handshake ack opens a wall-clock gap to the first tick,
+      // but it belongs to no round: emitting it would fabricate a phantom
+      // round 0. Frozen spans start only after the first granted round.
+      bool round_known = false;
+    };
+    std::map<u32, BoardState> per_node;
+    std::vector<const FrameRecord*> frames;
+    for (const FrameRecord& f : board.frames) {
+      if (f.port == LinkPort::kClock && !f.truncated &&
+          (f.flags & obs::kFrameFlagInjected) == 0) {
+        frames.push_back(&f);
+      }
+    }
+    std::sort(frames.begin(), frames.end(),
+              [](const FrameRecord* a, const FrameRecord* b) {
+                return a->seq < b->seq;
+              });
+    for (const FrameRecord* f : frames) {
+      auto msg = decode(f->payload);
+      if (!msg.ok()) continue;
+      if (const auto* tick = std::get_if<ClockTick>(&msg.value())) {
+        if (f->dir != LinkDir::kRx) continue;
+        BoardState& st = per_node[f->node];
+        u64 round = 0;
+        if (tick->round.has_value()) {
+          round = *tick->round;
+        } else if (auto it = rounds.find(tick->sim_cycle);
+                   it != rounds.end()) {
+          round = it->second.id;
+        }
+        if (st.prev_ack_ns != 0 && st.round_known) {
+          spans.push_back({st.prev_round, f->node, obs::SpanPhase::kFrozen,
+                           st.prev_ack_ns, f->wall_ns, tick->sim_cycle});
+        }
+        st.tick = PendingTick{tick->sim_cycle, f->wall_ns, round};
+      } else if (std::holds_alternative<TimeAck>(msg.value())) {
+        if (f->dir != LinkDir::kTx) continue;
+        BoardState& st = per_node[f->node];
+        if (st.tick.has_value()) {
+          spans.push_back({st.tick->round, f->node, obs::SpanPhase::kCompute,
+                           st.tick->wall_ns, f->wall_ns, st.tick->cycle});
+          st.prev_round = st.tick->round;
+          st.round_known = true;
+          st.tick.reset();
+        }
+        st.prev_ack_ns = f->wall_ns;
+      }
+    }
+  }
+
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return spans;
 }
 
 // ---------------------------------------------------------------------------

@@ -9,7 +9,8 @@ Hub::Hub(ObsConfig config)
       tracer_(TracerConfig{config.enabled, config.max_trace_events}),
       profiler_(config.enabled),
       hw_recorder_(config.record, "hw"),
-      board_recorder_(config.record, "board") {}
+      board_recorder_(config.record, "board"),
+      timeline_(config.timeline) {}
 
 void Hub::add_collector(std::function<void(MetricsRegistry&)> collector) {
   std::scoped_lock lock(collectors_mu_);
@@ -24,6 +25,7 @@ void Hub::collect() {
   profiler_.export_to(metrics_);
   hw_recorder_.export_to(metrics_);
   board_recorder_.export_to(metrics_);
+  if (timeline_.enabled()) timeline_.export_to(metrics_);
   // Truncated timelines are self-announcing: a dump that hit the trace
   // buffer cap carries the overflow count next to the event count.
   if (config_.enabled) {
@@ -38,6 +40,13 @@ std::string Hub::metrics_json(std::string_view node_prefix) {
   collect();
   return metrics_.to_json(node_prefix);
 }
+
+Status Hub::serve_telemetry(u16 port, TelemetryServer::Provider provider) {
+  if (!provider) provider = [this] { return metrics_json(); };
+  return telemetry_.start(std::move(provider), port);
+}
+
+void Hub::stop_telemetry() { telemetry_.stop(); }
 
 std::string merged_metrics_json(
     std::span<const std::pair<std::string, Hub*>> hubs) {

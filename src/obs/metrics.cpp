@@ -1,5 +1,6 @@
 #include "vhp/obs/metrics.hpp"
 
+#include <cmath>
 #include <sstream>
 
 namespace vhp::obs {
@@ -29,6 +30,27 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
   return get_or_create(mu_, histograms_, histogram_storage_, name);
+}
+
+u64 LatencyHistogram::percentile_ns(double q) const {
+  // Snapshot the buckets once; count() may race ahead of the bucket array
+  // under concurrent record_ns, so rank against the snapshot's own total.
+  std::array<u64, kBuckets> snap;
+  u64 total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = bucket(i);
+    total += snap[i];
+  }
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const u64 rank = std::max<u64>(
+      1, static_cast<u64>(std::ceil(q * static_cast<double>(total))));
+  u64 cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += snap[i];
+    if (cumulative >= rank) return bucket_floor_ns(i + 1) - 1;
+  }
+  return bucket_floor_ns(kBuckets) - 1;
 }
 
 bool MetricsRegistry::contains(std::string_view name) const {
@@ -80,7 +102,9 @@ void MetricsRegistry::append_json_sections(
     std::ostringstream out;
     out << "\"" << escaped_prefix << json_escape(name)
         << "\":{\"count\":" << h.count() << ",\"sum_ns\":" << h.sum_ns()
-        << ",\"buckets\":[";
+        << ",\"p50_ns\":" << h.percentile_ns(0.50)
+        << ",\"p95_ns\":" << h.percentile_ns(0.95)
+        << ",\"p99_ns\":" << h.percentile_ns(0.99) << ",\"buckets\":[";
     bool first_bucket = true;
     for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
       const u64 n = h.bucket(i);

@@ -251,6 +251,12 @@ Result<Recording> read_binary(const std::string& path, std::istream& in) {
   }
   const u64 n_frames = r.u64v();
   if (!r.ok()) return bad_file(path, "truncated header");
+  // A corrupt count must not turn into a giant allocation: every frame
+  // costs at least one byte, so the remaining bytes bound the real count.
+  if (n_frames > r.remaining()) {
+    return bad_file(path, strformat("frame count {} exceeds file size",
+                                    n_frames));
+  }
   rec.frames.reserve(n_frames);
   for (u64 i = 0; i < n_frames; ++i) {
     FrameRecord frame;
@@ -258,6 +264,10 @@ Result<Recording> read_binary(const std::string& path, std::istream& in) {
       return bad_file(path, strformat("truncated frame {}", i));
     }
     rec.frames.push_back(std::move(frame));
+  }
+  if (!r.at_end()) {
+    return bad_file(path, strformat("{} trailing bytes after frame {}",
+                                    r.remaining(), n_frames));
   }
   return rec;
 }

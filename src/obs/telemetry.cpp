@@ -1,0 +1,351 @@
+#include "vhp/obs/telemetry.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace vhp::obs {
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+Status TelemetryServer::start(Provider provider, u16 port) {
+  if (running_.load()) {
+    return Status{StatusCode::kFailedPrecondition,
+                  "telemetry server already running"};
+  }
+  if (!provider) {
+    return Status{StatusCode::kInvalidArgument, "null telemetry provider"};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status{StatusCode::kUnavailable,
+                  std::string("telemetry socket: ") + std::strerror(errno)};
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 8) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status{StatusCode::kUnavailable, "telemetry bind: " + err};
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status{StatusCode::kUnavailable, "telemetry getsockname: " + err};
+  }
+  provider_ = std::move(provider);
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+  return Status::Ok();
+}
+
+void TelemetryServer::stop() {
+  if (!running_.load()) return;
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+  running_.store(false);
+}
+
+namespace {
+
+// Full write with EINTR/partial handling; MSG_NOSIGNAL so a torn-down
+// client never raises SIGPIPE in the instrumented process.
+bool write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+void TelemetryServer::serve_loop() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 100);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const std::string doc = provider_();
+    // net::Channel framing: u32 little-endian length, then the body.
+    const u32 n = static_cast<u32>(doc.size());
+    const unsigned char header[4] = {
+        static_cast<unsigned char>(n & 0xff),
+        static_cast<unsigned char>((n >> 8) & 0xff),
+        static_cast<unsigned char>((n >> 16) & 0xff),
+        static_cast<unsigned char>((n >> 24) & 0xff)};
+    if (write_all(conn, header, sizeof header) &&
+        write_all(conn, doc.data(), doc.size())) {
+      served_.fetch_add(1);
+    }
+    ::close(conn);
+  }
+}
+
+u64 TelemetrySnapshot::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+i64 TelemetrySnapshot::gauge(std::string_view name) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+namespace {
+
+// Scanner over MetricsRegistry::to_json() output. Finds the named section
+// object and walks its "key":value pairs; values are either numbers or (for
+// histograms) objects whose leading fixed fields are read by name.
+struct Scan {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  bool seek(std::string_view token) {
+    const auto at = s.find(token, pos);
+    if (at == std::string_view::npos) return false;
+    pos = at + token.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+  bool read_quoted(std::string& out) {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != '"') return false;
+    ++pos;
+    out.clear();
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\' && pos + 1 < s.size()) ++pos;
+      out += s[pos++];
+    }
+    if (pos >= s.size()) return false;
+    ++pos;
+    return true;
+  }
+  bool read_number(double& out) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+            s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+            s[pos] == 'e' || s[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) return false;
+    out = std::strtod(std::string(s.substr(start, pos - start)).c_str(),
+                      nullptr);
+    return true;
+  }
+};
+
+u64 object_field_u64(std::string_view object, std::string_view key) {
+  Scan scan{object};
+  if (!scan.seek(std::string("\"") + std::string(key) + "\":")) return 0;
+  double v = 0;
+  return scan.read_number(v) ? static_cast<u64>(v) : 0;
+}
+
+// [start, end) of the balanced {...} beginning at `open` (which must index a
+// '{'); npos when unbalanced.
+std::size_t object_end(std::string_view s, std::size_t open) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}' && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+TelemetrySnapshot parse_metrics_snapshot(std::string_view json) {
+  TelemetrySnapshot snap;
+  const auto parse_section =
+      [&](std::string_view section,
+          const std::function<bool(Scan&, const std::string&)>& on_pair) {
+        Scan scan{json};
+        if (!scan.seek(std::string("\"") + std::string(section) + "\":{")) {
+          return;
+        }
+        for (;;) {
+          scan.skip_ws();
+          if (scan.pos >= json.size() || json[scan.pos] == '}') break;
+          if (json[scan.pos] == ',') {
+            ++scan.pos;
+            continue;
+          }
+          std::string key;
+          if (!scan.read_quoted(key)) break;
+          scan.skip_ws();
+          if (scan.pos >= json.size() || json[scan.pos] != ':') break;
+          ++scan.pos;
+          if (!on_pair(scan, key)) break;
+        }
+      };
+
+  parse_section("counters", [&](Scan& scan, const std::string& key) {
+    double v = 0;
+    if (!scan.read_number(v)) return false;
+    snap.counters[key] = static_cast<u64>(v);
+    return true;
+  });
+  parse_section("gauges", [&](Scan& scan, const std::string& key) {
+    double v = 0;
+    if (!scan.read_number(v)) return false;
+    snap.gauges[key] = static_cast<i64>(v);
+    return true;
+  });
+  parse_section("histograms", [&](Scan& scan, const std::string& key) {
+    scan.skip_ws();
+    if (scan.pos >= scan.s.size() || scan.s[scan.pos] != '{') return false;
+    const std::size_t end = object_end(scan.s, scan.pos);
+    if (end == std::string_view::npos) return false;
+    const std::string_view object = scan.s.substr(scan.pos, end - scan.pos);
+    HistogramSnapshot h;
+    h.count = object_field_u64(object, "count");
+    h.sum_ns = object_field_u64(object, "sum_ns");
+    h.p50_ns = object_field_u64(object, "p50_ns");
+    h.p95_ns = object_field_u64(object, "p95_ns");
+    h.p99_ns = object_field_u64(object, "p99_ns");
+    snap.histograms[key] = h;
+    scan.pos = end;
+    return true;
+  });
+  snap.ok = !snap.counters.empty() || !snap.gauges.empty() ||
+            !snap.histograms.empty();
+  return snap;
+}
+
+namespace {
+
+double rate(u64 cur, u64 prev, double dt_s) {
+  if (dt_s <= 0 || cur < prev) return 0.0;
+  return static_cast<double>(cur - prev) / dt_s;
+}
+
+}  // namespace
+
+std::string telemetry_top_text(const TelemetrySnapshot& cur,
+                               const TelemetrySnapshot* prev, double dt_s) {
+  std::ostringstream out;
+  char line[256];
+
+  const u64 rounds = cur.counter("fabric.barriers");
+  const u64 acks = cur.counter("fabric.acks_received");
+  const double round_rate =
+      prev ? rate(rounds, prev->counter("fabric.barriers"), dt_s) : 0.0;
+  std::snprintf(line, sizeof line,
+                "rounds %llu (%.0f/s)  acks %llu  evicted %llu  rejoined "
+                "%llu\n",
+                (unsigned long long)rounds, round_rate,
+                (unsigned long long)acks,
+                (unsigned long long)cur.counter("fabric.node_evicted"),
+                (unsigned long long)cur.counter("fabric.node_rejoined"));
+  out << line;
+
+  const auto wait = cur.histograms.find("fabric.barrier_wait_ns");
+  if (wait != cur.histograms.end()) {
+    std::snprintf(line, sizeof line,
+                  "barrier wait: mean %.1f us  p50 %.1f us  p95 %.1f us  "
+                  "p99 %.1f us\n",
+                  wait->second.mean_ns() / 1e3,
+                  static_cast<double>(wait->second.p50_ns) / 1e3,
+                  static_cast<double>(wait->second.p95_ns) / 1e3,
+                  static_cast<double>(wait->second.p99_ns) / 1e3);
+    out << line;
+  }
+
+  u64 faults = 0;
+  for (const auto& [name, v] : cur.counters) {
+    if (name.rfind("fault.", 0) == 0) faults += v;
+  }
+  if (faults > 0) {
+    std::snprintf(line, sizeof line, "fault counters: %llu total\n",
+                  (unsigned long long)faults);
+    out << line;
+  }
+
+  // Per-node rows keyed off the coordinator's grant histograms
+  // ("fabric.<name>.grant_cycles"); board-side ack counters merge in under
+  // the node-name prefix.
+  bool header = false;
+  for (const auto& [name, h] : cur.histograms) {
+    constexpr std::string_view kPrefix = "fabric.";
+    constexpr std::string_view kSuffix = ".grant_cycles";
+    if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+        0) {
+      continue;
+    }
+    const std::string node = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    if (node.find('.') != std::string::npos) continue;
+    if (!header) {
+      header = true;
+      std::snprintf(line, sizeof line, "%12s %10s %10s %12s %12s %12s\n",
+                    "node", "acks", "acks/s", "grants", "grant_mean",
+                    "grant_p95");
+      out << line;
+    }
+    const std::string ack_key = node + ".board.acks_sent";
+    const u64 node_acks = cur.counter(ack_key);
+    const double ack_rate =
+        prev ? rate(node_acks, prev->counter(ack_key), dt_s) : 0.0;
+    std::snprintf(line, sizeof line,
+                  "%12s %10llu %10.0f %12llu %12.0f %12llu\n", node.c_str(),
+                  (unsigned long long)node_acks, ack_rate,
+                  (unsigned long long)h.count, h.mean_ns(),
+                  (unsigned long long)h.p95_ns);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace vhp::obs

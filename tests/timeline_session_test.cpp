@@ -1,0 +1,186 @@
+// End-to-end causal timeline: real virtual boards (RTOS fibers) under a
+// timeline-armed session/fabric, live analysis, the offline extraction path
+// on written recordings, and the telemetry endpoint on a running fabric.
+// Fiber-bound, so no "tsan" label — the fiber-free timeline logic lives in
+// timeline_test.cpp.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "vhp/cosim/session.hpp"
+#include "vhp/fabric/fabric.hpp"
+#include "vhp/net/replay.hpp"
+#include "vhp/net/tcp.hpp"
+#include "vhp/obs/recording.hpp"
+#include "vhp/obs/telemetry.hpp"
+#include "vhp/obs/timeline.hpp"
+
+namespace vhp::fabric {
+namespace {
+
+using namespace std::chrono_literals;
+
+FabricConfig timeline_fabric_config(bool timeline) {
+  FabricConfigBuilder builder;
+  builder.inproc().t_sync(20).watchdog(10000ms).record();
+  if (timeline) builder.timeline();
+  builder.add_node("n0");
+  builder.last_board().rtos.cycles_per_tick = 10;
+  builder.add_node("n1");
+  builder.last_board().rtos.cycles_per_tick = 10;
+  return builder.build_or_throw();
+}
+
+TEST(FabricTimelineTest, LiveSpansCoverBothSidesAndReconcile) {
+  Fabric fab{timeline_fabric_config(/*timeline=*/true)};
+  fab.start_boards();
+  ASSERT_TRUE(fab.run_cycles(400).ok());
+  const u64 rounds_live = fab.coordinator().rounds();
+  EXPECT_GE(rounds_live, 10u);  // 400 cycles / t_sync 20, both nodes due
+
+  const auto spans = fab.timeline_spans();
+  ASSERT_FALSE(spans.empty());
+  bool compute_n0 = false, compute_n1 = false, wait_seen = false;
+  for (const auto& s : spans) {
+    if (s.phase == obs::SpanPhase::kCompute && s.node == 0) compute_n0 = true;
+    if (s.phase == obs::SpanPhase::kCompute && s.node == 1) compute_n1 = true;
+    if (s.phase == obs::SpanPhase::kNodeWait) wait_seen = true;
+  }
+  EXPECT_TRUE(compute_n0) << "board spans must be re-stamped to slot 0";
+  EXPECT_TRUE(compute_n1) << "board spans must be re-stamped to slot 1";
+  EXPECT_TRUE(wait_seen);
+
+  const obs::TimelineAnalysis live = fab.timeline_analysis();
+  EXPECT_EQ(live.rounds.size(), rounds_live);
+  EXPECT_GT(live.wall_ns, 0u);
+  EXPECT_GT(live.virtual_cycles, 0u);
+  EXPECT_GT(live.slowdown, 0.0);
+  // The acceptance gate: per-node decomposition re-composes fabric
+  // wall-clock within 5%.
+  EXPECT_LT(live.reconciliation_error, 0.05);
+  ASSERT_EQ(live.nodes.size(), 2u);
+  EXPECT_EQ(live.nodes[0].name, "n0");
+  EXPECT_GT(live.nodes[0].compute_ns, 0u);
+
+  const std::string doc = fab.metrics_json();
+  EXPECT_NE(doc.find("\"timeline\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"reconciliation_error\":"), std::string::npos);
+
+  // Offline path: written recordings must reproduce the same round count.
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "vhp_timeline_session")
+          .string();
+  ASSERT_TRUE(fab.write_recordings(prefix).ok());
+  fab.finish();
+
+  auto hw = obs::read_recording(prefix + ".hw.vhprec");
+  ASSERT_TRUE(hw.ok()) << hw.status();
+  std::vector<obs::Recording> boards;
+  for (const char* name : {"n0", "n1"}) {
+    auto rec = obs::read_recording(prefix + "." + std::string(name) +
+                                   ".board.vhprec");
+    ASSERT_TRUE(rec.ok()) << rec.status();
+    boards.push_back(std::move(rec.value()));
+  }
+  const auto offline_spans =
+      net::timeline_from_recordings(hw.value(), boards);
+  ASSERT_FALSE(offline_spans.empty());
+  const obs::TimelineAnalysis offline = obs::analyze_spans(offline_spans);
+  EXPECT_EQ(offline.rounds.size(), rounds_live);
+  // Wire v3 carried the ids: offline and live agree on the last round.
+  EXPECT_EQ(offline.rounds.back().round, live.rounds.back().round);
+  EXPECT_LT(offline.reconciliation_error, 0.05);
+
+  for (const char* suffix : {".hw.vhprec", ".n0.board.vhprec",
+                             ".n1.board.vhprec"}) {
+    if (!::testing::Test::HasFailure()) std::filesystem::remove(prefix + suffix);
+  }
+}
+
+TEST(FabricTimelineTest, DisabledTimelineLeavesNoTrace) {
+  Fabric fab{timeline_fabric_config(/*timeline=*/false)};
+  fab.start_boards();
+  ASSERT_TRUE(fab.run_cycles(200).ok());
+  EXPECT_EQ(fab.coordinator().rounds(), 0u);
+  EXPECT_TRUE(fab.timeline_spans().empty());
+  const std::string doc = fab.metrics_json();
+  EXPECT_EQ(doc.find("\"timeline\":"), std::string::npos);
+  fab.finish();
+}
+
+TEST(FabricTimelineTest, TelemetryEndpointServesTheMergedDocument) {
+  Fabric fab{timeline_fabric_config(/*timeline=*/true)};
+  fab.start_boards();
+  ASSERT_TRUE(fab.run_cycles(100).ok());
+  ASSERT_TRUE(fab.serve_telemetry(0).ok());
+  ASSERT_NE(fab.telemetry_port(), 0u);
+
+  auto channel = net::connect_tcp_channel(fab.telemetry_port());
+  ASSERT_TRUE(channel.ok()) << channel.status();
+  auto frame = channel.value()->recv(5000ms);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  const std::string doc(frame.value().begin(), frame.value().end());
+  EXPECT_NE(doc.find("\"timeline\":"), std::string::npos);
+  const obs::TelemetrySnapshot snap = obs::parse_metrics_snapshot(doc);
+  ASSERT_TRUE(snap.ok);
+  EXPECT_GT(snap.counter("fabric.barriers"), 0u);
+
+  fab.finish();  // must stop the endpoint before tearing the fabric down
+}
+
+}  // namespace
+}  // namespace vhp::fabric
+
+// ---------------------------------------------------------------------------
+// Classic two-party session with the timeline armed
+
+namespace vhp::cosim {
+namespace {
+
+TEST(SessionTimelineTest, RoundsPropagateAndBothSinksRecord) {
+  SessionConfig cfg;
+  cfg.cosim.t_sync = 100;
+  cfg.obs.timeline.enabled = true;
+  CosimSession session{cfg};
+  session.start_board();
+  ASSERT_TRUE(session.run_cycles(1000).ok());
+  const u64 rounds = session.hw().rounds();
+  EXPECT_GE(rounds, 9u);
+  session.finish();
+
+  const auto spans = session.obs().timeline().snapshot();
+  ASSERT_FALSE(spans.empty());
+  bool wait = false, compute = false, barrier = false;
+  u64 max_round = 0;
+  for (const auto& s : spans) {
+    max_round = std::max(max_round, s.round);
+    if (s.phase == obs::SpanPhase::kNodeWait) wait = true;
+    if (s.phase == obs::SpanPhase::kCompute) compute = true;
+    if (s.phase == obs::SpanPhase::kBarrier) barrier = true;
+  }
+  EXPECT_TRUE(wait) << "kernel-side wait spans";
+  EXPECT_TRUE(compute) << "board-side compute spans (shared hub)";
+  EXPECT_TRUE(barrier);
+  EXPECT_EQ(max_round, rounds);
+
+  const obs::TimelineAnalysis a = obs::analyze_spans(spans);
+  EXPECT_EQ(a.rounds.size(), rounds);
+  EXPECT_LT(a.reconciliation_error, 0.05);
+}
+
+TEST(SessionTimelineTest, DefaultSessionStampsNoRounds) {
+  SessionConfig cfg;
+  cfg.cosim.t_sync = 100;
+  CosimSession session{cfg};
+  session.start_board();
+  ASSERT_TRUE(session.run_cycles(500).ok());
+  session.finish();
+  EXPECT_EQ(session.hw().rounds(), 0u);
+  EXPECT_TRUE(session.obs().timeline().snapshot().empty());
+}
+
+}  // namespace
+}  // namespace vhp::cosim

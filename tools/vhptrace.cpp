@@ -5,24 +5,40 @@
 //   vhptrace stats <recording> [--node N]
 //   vhptrace diff <recording-a> <recording-b> [--node N]
 //   vhptrace to-chrome <recording> [out.json]
+//   vhptrace timeline <hw.vhprec> [board.vhprec...] [--chrome out.json]
+//   vhptrace critical <hw.vhprec> [board.vhprec...] [--gate PCT]
+//   vhptrace top <port> [--interval MS] [--count N] [--once]
 //
 // Fabric recordings interleave N nodes' links in one global sequence;
 // --node keeps one node's frames (two-party recordings are all node 0).
 //
+// timeline/critical reconstruct per-round spans from the CLOCK traffic
+// (net::timeline_from_recordings) and run the causal-timeline analyzer on
+// them; top polls a live fabric's telemetry endpoint
+// (Fabric::serve_telemetry) and renders per-node round rates.
+//
 // Thin shell over the library: the subcommand logic lives in
-// vhp/obs/recording.hpp (tested there); this file only parses arguments.
+// vhp/obs/recording.hpp, vhp/obs/timeline.hpp and vhp/net/replay.hpp
+// (tested there); this file only parses arguments.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "vhp/common/format.hpp"
 #include "vhp/net/message.hpp"
 #include "vhp/net/replay.hpp"
+#include "vhp/net/tcp.hpp"
 #include "vhp/obs/recording.hpp"
+#include "vhp/obs/telemetry.hpp"
+#include "vhp/obs/timeline.hpp"
 
 namespace {
 
@@ -42,8 +58,32 @@ int usage() {
                "      first mismatching frame between two recordings\n"
                "      (exit 1 when they diverge)\n"
                "  to-chrome <recording> [out.json]\n"
-               "      Chrome trace_event JSON (chrome://tracing, Perfetto)\n");
+               "      Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
+               "  timeline <hw.vhprec> [board.vhprec...] [--chrome out.json]\n"
+               "      per-round barrier table from a recording set; --chrome\n"
+               "      writes trace_event JSON, one track per node\n"
+               "  critical <hw.vhprec> [board.vhprec...] [--gate PCT]\n"
+               "      critical-path report: per-node compute/wait/transport,\n"
+               "      straggler ranking, slowdown; --gate exits 1 when the\n"
+               "      decomposition misses total wall-clock by more than PCT%%\n"
+               "  top <port> [--interval MS] [--count N] [--once]\n"
+               "      refreshing view of a live fabric's telemetry endpoint\n"
+               "      (Fabric::serve_telemetry on 127.0.0.1)\n");
   return 2;
+}
+
+/// Strict decimal parse; nullopt on empty/garbage/overflow — a typo in a
+/// numeric flag must print usage, not throw out of std::stoul.
+std::optional<u64> parse_u64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  u64 out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const u64 digit = static_cast<u64>(c - '0');
+    if (out > (~u64{0} - digit) / 10) return std::nullopt;
+    out = out * 10 + digit;
+  }
+  return out;
 }
 
 obs::Recording load_or_exit(const std::string& path) {
@@ -56,13 +96,15 @@ obs::Recording load_or_exit(const std::string& path) {
 }
 
 /// Pops a trailing "--node N" pair out of `args`; nullopt when absent.
+/// Exits with usage on a non-numeric N.
 std::optional<u32> take_node_filter(std::vector<std::string>& args) {
   for (std::size_t i = 0; i + 1 < args.size(); ++i) {
     if (args[i] != "--node") continue;
-    const u32 node = static_cast<u32>(std::stoul(args[i + 1]));
+    const std::optional<u64> node = parse_u64(args[i + 1]);
+    if (!node.has_value() || *node > ~u32{0}) std::exit(usage());
     args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-    return node;
+    return static_cast<u32>(*node);
   }
   return std::nullopt;
 }
@@ -116,6 +158,7 @@ std::string describe(const obs::FrameRecord& r) {
         case net::MsgType::kClockTick: {
           const auto& t = std::get<net::ClockTick>(m);
           msg += strformat(" sim_cycle={} n_ticks={}", t.sim_cycle, t.n_ticks);
+          if (t.round.has_value()) msg += strformat(" round={}", *t.round);
           break;
         }
         case net::MsgType::kTimeAck: {
@@ -126,6 +169,7 @@ std::string describe(const obs::FrameRecord& r) {
                        ? " lookahead=unbounded"
                        : strformat(" lookahead={}", *a.lookahead);
           }
+          if (a.round.has_value()) msg += strformat(" round={}", *a.round);
           break;
         }
         case net::MsgType::kShutdown:
@@ -152,7 +196,9 @@ int cmd_inspect(std::vector<std::string> args) {
   std::string port_filter;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--limit" && i + 1 < args.size()) {
-      limit = std::stoul(args[++i]);
+      const std::optional<u64> n = parse_u64(args[++i]);
+      if (!n.has_value()) return usage();
+      limit = static_cast<std::size_t>(*n);
     } else if (args[i] == "--port" && i + 1 < args.size()) {
       port_filter = args[++i];
     } else {
@@ -222,6 +268,152 @@ int cmd_to_chrome(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Loads `<hw> [boards...]`, extracts the spans and node-name map. The hw
+/// recording comes first; board recordings are matched to their fabric slot
+/// via the "node"/"node_name" tags Fabric::write_recordings stamps.
+int load_timeline(const std::vector<std::string>& paths,
+                  std::vector<obs::SpanRecord>& spans,
+                  std::map<u32, std::string>& names) {
+  obs::Recording hw = load_or_exit(paths[0]);
+  std::vector<obs::Recording> boards;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    obs::Recording board = load_or_exit(paths[i]);
+    const auto node_tag = board.meta.tags.find("node");
+    const auto name_tag = board.meta.tags.find("node_name");
+    if (node_tag != board.meta.tags.end() &&
+        name_tag != board.meta.tags.end()) {
+      if (const auto node = parse_u64(node_tag->second); node.has_value()) {
+        names[static_cast<u32>(*node)] = name_tag->second;
+      }
+    }
+    boards.push_back(std::move(board));
+  }
+  spans = net::timeline_from_recordings(hw, boards);
+  if (spans.empty()) {
+    std::fprintf(stderr,
+                 "vhptrace: %s holds no CLOCK rounds to analyze\n",
+                 paths[0].c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_timeline(std::vector<std::string> args) {
+  std::string chrome_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--chrome" && i + 1 < args.size()) {
+      chrome_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  if (args.empty()) return usage();
+  std::vector<obs::SpanRecord> spans;
+  std::map<u32, std::string> names;
+  if (int rc = load_timeline(args, spans, names); rc != 0) return rc;
+  const obs::TimelineAnalysis analysis = obs::analyze_spans(spans, names);
+  std::fputs(obs::timeline_report_text(analysis).c_str(), stdout);
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path, std::ios::trunc);
+    out << obs::spans_to_chrome_json(spans, names);
+    if (!out) {
+      std::fprintf(stderr, "vhptrace: write failed: %s\n",
+                   chrome_path.c_str());
+      return 2;
+    }
+    std::printf("chrome trace: %s (%zu spans)\n", chrome_path.c_str(),
+                spans.size());
+  }
+  return 0;
+}
+
+int cmd_critical(std::vector<std::string> args) {
+  double gate = -1.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--gate" && i + 1 < args.size()) {
+      char* end = nullptr;
+      gate = std::strtod(args[i + 1].c_str(), &end);
+      if (end == nullptr || *end != '\0' || gate < 0.0) return usage();
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  if (args.empty()) return usage();
+  std::vector<obs::SpanRecord> spans;
+  std::map<u32, std::string> names;
+  if (int rc = load_timeline(args, spans, names); rc != 0) return rc;
+  const obs::TimelineAnalysis analysis = obs::analyze_spans(spans, names);
+  std::fputs(obs::critical_report_text(analysis).c_str(), stdout);
+  if (gate >= 0.0 && analysis.reconciliation_error * 100.0 > gate) {
+    std::fprintf(stderr,
+                 "vhptrace: reconciliation error %.2f%% exceeds gate %.2f%%\n",
+                 analysis.reconciliation_error * 100.0, gate);
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_top(std::vector<std::string> args) {
+  if (args.empty()) return usage();
+  const std::optional<u64> port = parse_u64(args[0]);
+  if (!port.has_value() || *port == 0 || *port > 65535) return usage();
+  u64 interval_ms = 1000;
+  u64 count = 0;  // 0 = until interrupted
+  bool once = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--interval" && i + 1 < args.size()) {
+      const std::optional<u64> ms = parse_u64(args[++i]);
+      if (!ms.has_value() || *ms == 0) return usage();
+      interval_ms = *ms;
+    } else if (args[i] == "--count" && i + 1 < args.size()) {
+      const std::optional<u64> n = parse_u64(args[++i]);
+      if (!n.has_value()) return usage();
+      count = *n;
+    } else if (args[i] == "--once") {
+      once = true;
+    } else {
+      return usage();
+    }
+  }
+  if (once) count = 1;
+  std::optional<obs::TelemetrySnapshot> prev;
+  for (u64 iter = 0; count == 0 || iter < count; ++iter) {
+    if (iter > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    // One connection per sample: the endpoint serves one frame and closes.
+    auto channel = net::connect_tcp_channel(static_cast<u16>(*port));
+    if (!channel.ok()) {
+      std::fprintf(stderr, "vhptrace: connect to 127.0.0.1:%u failed: %s\n",
+                   static_cast<unsigned>(*port),
+                   channel.status().to_string().c_str());
+      return 2;
+    }
+    auto doc = channel.value()->recv(std::chrono::milliseconds{5000});
+    if (!doc.ok()) {
+      std::fprintf(stderr, "vhptrace: telemetry read failed: %s\n",
+                   doc.status().to_string().c_str());
+      return 2;
+    }
+    const std::string json(doc.value().begin(), doc.value().end());
+    obs::TelemetrySnapshot snap = obs::parse_metrics_snapshot(json);
+    if (!snap.ok) {
+      std::fprintf(stderr, "vhptrace: unparseable telemetry document\n");
+      return 2;
+    }
+    if (count != 1 && iter > 0) std::printf("\033[2J\033[H");
+    const double dt_s = static_cast<double>(interval_ms) / 1000.0;
+    std::fputs(obs::telemetry_top_text(snap, prev ? &*prev : nullptr, dt_s)
+                   .c_str(),
+               stdout);
+    std::fflush(stdout);
+    prev = std::move(snap);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,5 +424,8 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(args);
   if (cmd == "diff") return cmd_diff(args);
   if (cmd == "to-chrome") return cmd_to_chrome(args);
+  if (cmd == "timeline") return cmd_timeline(args);
+  if (cmd == "critical") return cmd_critical(args);
+  if (cmd == "top") return cmd_top(args);
   return usage();
 }

@@ -51,6 +51,12 @@ struct CosimConfig {
   /// coarser driver-write delivery (an ablation knob; see
   /// bench/abl_data_poll).
   u64 data_poll_interval = 1;
+  /// Evaluation lanes of the deterministic parallel kernel (including the
+  /// calling thread); 0 = serial (default, byte-identical legacy path).
+  /// Results are bit-identical across all values — see
+  /// sim::Kernel::set_parallel and sim/partition.hpp for the model
+  /// contract.
+  u64 parallel_workers = 0;
 
   /// The policy in effect: `sync` when set, else the legacy fields
   /// repackaged (fixed mode at `t_sync`).
@@ -179,6 +185,9 @@ class CosimKernel {
   u64 round_ = 0;  // wire-v3 round id of the latest CLOCK_TICK
   bool handshaken_ = false;
   bool finished_ = false;
+  /// Per-lane busy_ns already folded into the sim.worker*.busy_ns
+  /// histograms (the collector records deltas between metric dumps).
+  std::vector<u64> lane_busy_collected_;
 };
 
 }  // namespace vhp::cosim

@@ -96,6 +96,13 @@ class SessionConfigBuilder {
     config_.cosim.data_poll_interval = cycles;
     return *this;
   }
+  /// Runs the master kernel's evaluation phase on `workers` lanes
+  /// (including the calling thread); 0 = serial. Bit-identical results
+  /// either way — see sim::Kernel::set_parallel.
+  SessionConfigBuilder& parallel(u64 workers) {
+    config_.cosim.parallel_workers = workers;
+    return *this;
+  }
   SessionConfigBuilder& untimed() {
     config_.set_untimed();
     return *this;

@@ -73,6 +73,10 @@ struct FabricConfig {
   sim::SimTime clock_period = 2;
   /// Poll each node's DATA port every this many cycles (as CosimConfig).
   u64 data_poll_interval = 1;
+  /// Evaluation lanes of the deterministic parallel master kernel
+  /// (including the calling thread); 0 = serial. Bit-identical results
+  /// either way — see sim::Kernel::set_parallel.
+  u64 parallel_workers = 0;
   Transport transport = Transport::kInProc;
   /// Barrier straggler watchdog (SyncConfig::watchdog). Deprecated shim:
   /// honored only while `sync` is unset.
@@ -138,6 +142,12 @@ class FabricConfigBuilder {
   }
   FabricConfigBuilder& data_poll_interval(u64 cycles) {
     config_.data_poll_interval = cycles;
+    return *this;
+  }
+  /// Parallel master kernel with `workers` evaluation lanes (0 = serial);
+  /// bit-identical results either way.
+  FabricConfigBuilder& parallel(u64 workers) {
+    config_.parallel_workers = workers;
     return *this;
   }
   FabricConfigBuilder& watchdog(std::chrono::milliseconds bound) {

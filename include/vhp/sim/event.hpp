@@ -8,6 +8,7 @@
 // overrides a later one.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,6 +19,10 @@ namespace vhp::sim {
 
 class Kernel;
 class Process;
+class SignalBase;
+
+/// Island id of an entity the partitioner has not assigned yet.
+inline constexpr std::uint32_t kNoIsland = ~std::uint32_t{0};
 
 class Event {
  public:
@@ -49,6 +54,9 @@ class Event {
   friend class Kernel;
   friend class Process;
   friend class ThreadProcess;
+  friend class SignalBase;
+  friend class BoolSignal;
+  friend class Partition;
 
   enum class Pending { kNone, kDelta, kTimed };
 
@@ -57,6 +65,15 @@ class Event {
 
   Kernel& kernel_;
   std::string name_;
+  /// --- island partitioning (see vhp/sim/partition.hpp) ---
+  /// Sensitivity to a signal-owned event (value-changed / edge events,
+  /// owner_signal_ set by the signal constructor) is the cut edge between
+  /// islands; everything else glues its endpoints into one island.
+  std::uint64_t entity_id_ = 0;
+  std::uint32_t affinity_ = 0;  // 0 = ungrouped
+  std::uint32_t island_ = kNoIsland;
+  SignalBase* owner_signal_ = nullptr;
+  Process* owner_process_ = nullptr;
   std::vector<Process*> static_sensitive_;
   /// One-shot waiters with their registration token: a thread waiting on
   /// several events at once (wait_any) registers on each; the token lets

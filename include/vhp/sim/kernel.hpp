@@ -10,12 +10,24 @@
 //      processes runnable for the next delta cycle;
 //   4. when no delta activity remains, advance time to the earliest timed
 //      notification.
+//
+// Deterministic parallel mode (set_parallel): the evaluation phase fans
+// islands (see vhp/sim/partition.hpp) out over a fixed worker pool, with
+// per-island staging queues instead of the global ones; phases 2 and 3 then
+// run single-threaded on the staged requests merged in canonical order
+// (island id, then intra-island request order). Because islands only
+// communicate through delta-delayed signals, every observable result —
+// signal values, delta counts, virtual time, recordings — is bit-identical
+// to the serial kernel regardless of worker count or OS scheduling.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "vhp/sim/event.hpp"
@@ -24,6 +36,10 @@
 #include "vhp/sim/time.hpp"
 
 namespace vhp::sim {
+
+class Partition;
+class WorkerPool;
+struct Island;
 
 class Kernel {
  public:
@@ -46,16 +62,20 @@ class Kernel {
   /// Runs until no activity remains or stop() was requested.
   void run_to_completion();
 
-  /// Earliest pending timed notification, if any.
+  /// Earliest pending timed notification, if any. Lazily erases stale
+  /// (cancelled/overridden) entries encountered during the scan so a
+  /// cancel-heavy workload keeps the timed queue bounded.
   [[nodiscard]] std::optional<SimTime> next_event_time() const;
 
   /// True when no runnable process, delta or timed notification remains.
   [[nodiscard]] bool idle() const;
 
   /// Requests the run loop to return after the current delta cycle.
-  /// Callable from inside a process.
-  void stop() { stop_requested_ = true; }
-  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+  /// Callable from inside a process (including island workers).
+  void stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
 
   /// Livelock guard: a model whose processes keep notifying each other
   /// with delta notifications never lets the timestep advance (the classic
@@ -64,12 +84,75 @@ class Kernel {
   /// std::runtime_error naming the simulation time. 0 disables (default).
   void set_delta_limit(std::uint64_t limit) { delta_limit_ = limit; }
 
+  /// --- deterministic parallel execution ---
+
+  /// `lanes` = total evaluation parallelism including the calling thread:
+  /// 0 disables (serial kernel, byte-identical legacy path), 1 runs the
+  /// island machinery without extra threads, N spawns N-1 workers. Results
+  /// are bit-identical across all values; see partition.hpp for the model
+  /// contract (islands may only touch foreign state through signals).
+  void set_parallel(unsigned lanes);
+  [[nodiscard]] unsigned parallel_lanes() const { return parallel_lanes_; }
+
+  struct ParallelStats {
+    std::uint64_t islands = 0;
+    std::uint64_t parallel_deltas = 0;
+    std::uint64_t repartitions = 0;
+    struct Lane {
+      std::uint64_t busy_ns = 0;
+      std::uint64_t islands_run = 0;
+    };
+    std::vector<Lane> lanes;  // lane 0 = the thread calling run()
+  };
+  [[nodiscard]] ParallelStats parallel_stats() const;
+
+  /// Builds (if dirty) and returns the number of islands. Usable with the
+  /// serial kernel too (partition inspection in tests).
+  [[nodiscard]] std::size_t island_count();
+
+  /// --- island affinity (construction-time grouping) ---
+  /// Entities constructed while a construction affinity group is active
+  /// inherit it; Module's constructor opens a fresh group, so a module and
+  /// its members always share an island.
+  [[nodiscard]] std::uint32_t new_affinity_group() {
+    return affinity_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  [[nodiscard]] std::uint32_t construction_affinity() const;
+  void set_construction_affinity(std::uint32_t group);
+  /// Raw thread-local construction context (kernel tag + group); used by
+  /// Module::AffinityScope to save/restore across nested construction.
+  [[nodiscard]] static std::pair<const void*, std::uint32_t>
+  construction_context();
+  static void set_construction_context(const void* kernel_tag,
+                                       std::uint32_t group);
+
+  /// Merges two affinity groups into one island (modules that share state
+  /// outside of signals, e.g. a testbench driving a router's FIFOs).
+  void co_locate(std::uint32_t group_a, std::uint32_t group_b);
+  /// Entity-level merge (e.g. Clock's generator process with its signal).
+  void co_locate(Process& process, SignalBase& signal);
+
+  /// Invalidate the island partition (new sensitivity edge, new entity).
+  void mark_partition_dirty() { partition_dirty_ = true; }
+
+  /// Throws std::logic_error if called from a parallel evaluation worker
+  /// whose island does not own `event` (cross-island eval-phase mutation).
+  void check_eval_access(const Event& event) const;
+
   /// --- registration API (used by Module; rarely called directly) ---
   Process& register_process(std::unique_ptr<Process> process);
+  /// Entity bookkeeping for the partitioner (Event/SignalBase ctors).
+  void register_event(Event* event);
+  void register_signal(SignalBase* signal);
+  void unregister_signal(SignalBase* signal);
 
   /// Statistics.
   [[nodiscard]] std::uint64_t process_count() const {
     return processes_.size();
+  }
+  /// Test introspection: current timed-queue size including stale entries.
+  [[nodiscard]] std::size_t timed_queue_size() const {
+    return timed_queue_.size();
   }
 
  private:
@@ -81,7 +164,8 @@ class Kernel {
 
   void schedule_timed(Event* event, SimTime abs_time, std::uint64_t token);
   void schedule_delta(Event* event);
-  /// Removes every queued reference to a dying event (Event destructor).
+  /// Removes every queued reference to a dying event (Event destructor);
+  /// also lazily erases stale timed entries encountered during the scan.
   void forget_event(Event* event);
   void request_update(SignalBase* signal);
   void make_runnable(Process* process);
@@ -92,25 +176,59 @@ class Kernel {
   /// One full delta cycle (evaluate + update + delta notify).
   /// Returns false if there was nothing to do.
   bool do_delta_cycle();
+  /// Parallel-evaluation variant (parallel_lanes_ > 0).
+  bool do_delta_cycle_parallel();
+  /// Phases 2 + 3, shared between the serial and parallel variants.
+  void run_update_and_delta_phases();
 
   /// All delta cycles at the current time point.
   void exhaust_deltas();
+
+  /// Rebuilds the island partition if dirty.
+  void ensure_partition();
+  /// Evaluation phase of one island (runs on a worker-pool lane).
+  void evaluate_island(Island& island);
+  /// Appends mid-evaluation entity registrations to the kernel registries
+  /// in canonical island order (assigning deterministic entity ids).
+  void commit_staged_entities(Island& island);
 
   SimTime now_ = 0;
   std::uint64_t delta_count_ = 0;
   std::uint64_t delta_limit_ = 0;
   std::uint64_t timed_token_counter_ = 0;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
   bool in_evaluation_ = false;
 
   struct TimedEntry {
     Event* event;
     std::uint64_t token;
   };
-  std::multimap<SimTime, TimedEntry> timed_queue_;
+  /// mutable: next_event_time() is logically const but prunes stale entries.
+  mutable std::multimap<SimTime, TimedEntry> timed_queue_;
   std::vector<Event*> delta_queue_;
   std::vector<Process*> runnable_;
   std::vector<SignalBase*> update_queue_;
+
+  /// --- partition inputs (entity registries + explicit unions) ---
+  std::uint64_t next_entity_id_ = 0;
+  std::vector<Event*> events_;
+  std::vector<SignalBase*> signals_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entity_unions_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> group_unions_;
+  std::atomic<std::uint32_t> affinity_counter_{0};
+
+  /// --- parallel engine state ---
+  unsigned parallel_lanes_ = 0;
+  bool partition_dirty_ = true;
+  std::uint64_t parallel_deltas_ = 0;
+  std::uint64_t repartitions_ = 0;
+  std::unique_ptr<Partition> partition_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<Island*> active_islands_;
+
+  /// Owned processes LAST: a dying ThreadProcess unregisters its timeout
+  /// event from the queues and registries above (members destroy in reverse
+  /// declaration order, so everything it touches must be declared first).
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Process*> uninitialized_;
 };

@@ -36,7 +36,29 @@ class Module {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Kernel& kernel() const { return kernel_; }
 
+  /// The island-affinity group all of this module's entities belong to.
+  /// Modules that share mutable state outside of signals (e.g. a testbench
+  /// whose traffic modules call into the router's FIFOs directly) must be
+  /// merged with Kernel::co_locate before running the kernel in parallel.
+  [[nodiscard]] std::uint32_t affinity_group() const { return affinity_; }
+
  protected:
+  /// RAII: entities constructed while alive inherit this module's affinity
+  /// group (used so processes/signals created mid-simulation still land in
+  /// the owning module's island).
+  class AffinityScope {
+   public:
+    explicit AffinityScope(const Module& module);
+    ~AffinityScope();
+    AffinityScope(const AffinityScope&) = delete;
+    AffinityScope& operator=(const AffinityScope&) = delete;
+
+   private:
+    Kernel& kernel_;
+    std::uint32_t saved_group_;
+    const void* saved_kernel_;
+  };
+
   /// Registers an SC_METHOD-style process owned by the kernel.
   Process& method(const std::string& proc_name, std::function<void()> fn);
 
@@ -47,6 +69,7 @@ class Module {
   /// Creates a module-owned signal (convenience for internal signals).
   template <typename T>
   Signal<T>& make_signal(const std::string& sig_name, T init = T{}) {
+    const AffinityScope scope{*this};
     auto sig = std::make_unique<Signal<T>>(kernel_, qualify(sig_name), init);
     auto& ref = *sig;
     owned_signals_.push_back(std::move(sig));
@@ -63,6 +86,7 @@ class Module {
 
  private:
   std::string name_;
+  std::uint32_t affinity_ = 0;
   std::vector<std::unique_ptr<SignalBase>> owned_signals_;
 };
 

@@ -1,0 +1,84 @@
+// Island partitioning for the deterministic parallel kernel.
+//
+// At elaboration end the kernel's entities (processes, events, signals)
+// form a graph; the partitioner splits it into connected components called
+// ISLANDS. Two entities end up in the same island when anything other than
+// a delta-delayed signal couples them:
+//
+//   - same construction-affinity group (a Module and all its members), or
+//     groups merged with Kernel::co_locate;
+//   - static sensitivity of a process to a PLAIN event (one not owned by a
+//     signal) — the notifier may fire it immediately, in-phase;
+//   - an event owned by a signal (value-changed / edge events) or by a
+//     process (a thread's private timeout event) sticks with its owner.
+//
+// Sensitivity to a signal-owned event is the CUT edge: signals are
+// delta-delayed (reads see the pre-phase value all through evaluation, the
+// write lands in the single-threaded commit), so islands that communicate
+// only through signals can evaluate concurrently with no observable order.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "vhp/sim/time.hpp"
+
+namespace vhp::sim {
+
+class Event;
+class Process;
+class SignalBase;
+
+/// One island: the unit of parallel evaluation. The staging queues collect
+/// everything the island's processes schedule during an evaluation phase;
+/// the kernel drains them into its global queues in canonical island order
+/// (island id, then intra-island request order) on the main thread.
+struct Island {
+  std::uint32_t id = 0;
+  std::size_t n_processes = 0;
+
+  std::vector<Process*> runnable;
+  std::vector<Event*> delta_queue;
+  std::vector<SignalBase*> update_queue;
+  struct StagedTimed {
+    Event* event;
+    SimTime time;
+    std::uint64_t token;
+  };
+  std::vector<StagedTimed> staged_timed;
+
+  /// Entities created mid-evaluation by this island's processes (the cosim
+  /// SyncAgent pattern); committed to the kernel registries afterwards.
+  std::vector<std::unique_ptr<Process>> staged_processes;
+  std::vector<Event*> staged_events;
+  std::vector<SignalBase*> staged_signals;
+
+  std::exception_ptr error;
+};
+
+/// Builds islands from the kernel registries and writes the island id back
+/// into every entity. Island ids are canonical: islands are ordered by the
+/// smallest entity id they contain (i.e. construction order), so the commit
+/// order — and therefore every observable result — is independent of worker
+/// count and OS scheduling.
+class Partition {
+ public:
+  void build(const std::vector<std::unique_ptr<Process>>& processes,
+             const std::vector<Event*>& events,
+             const std::vector<SignalBase*>& signals,
+             const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+                 entity_unions,
+             const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                 group_unions);
+
+  [[nodiscard]] std::vector<Island>& islands() { return islands_; }
+  [[nodiscard]] const std::vector<Island>& islands() const { return islands_; }
+
+ private:
+  std::vector<Island> islands_;
+};
+
+}  // namespace vhp::sim

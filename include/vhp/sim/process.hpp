@@ -43,6 +43,7 @@ class Process {
 
   friend class Kernel;
   friend class Event;
+  friend class Partition;
 
   /// Marks runnable (idempotent within one evaluation phase).
   void trigger_from(Event& event);
@@ -64,6 +65,10 @@ class Process {
   std::uint64_t wait_token_ = 0;
   Event* last_dynamic_trigger_ = nullptr;
   std::vector<Event*> static_events_;
+  /// --- island partitioning (see vhp/sim/partition.hpp) ---
+  std::uint64_t entity_id_ = 0;
+  std::uint32_t affinity_ = 0;  // 0 = ungrouped
+  std::uint32_t island_ = kNoIsland;
 };
 
 class MethodProcess final : public Process {

@@ -37,6 +37,7 @@ class SignalBase {
 
  protected:
   friend class Kernel;
+  friend class Partition;
 
   /// Applies the pending value; called by the kernel in the update phase.
   virtual void update() = 0;
@@ -50,6 +51,10 @@ class SignalBase {
   Event changed_;
   bool update_requested_ = false;
   std::vector<std::function<void(SimTime)>> change_hooks_;
+  /// --- island partitioning (see vhp/sim/partition.hpp) ---
+  std::uint64_t entity_id_ = 0;
+  std::uint32_t affinity_ = 0;  // 0 = ungrouped
+  std::uint32_t island_ = kNoIsland;
 };
 
 template <typename T>

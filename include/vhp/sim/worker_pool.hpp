@@ -1,0 +1,66 @@
+// Fixed-size worker pool for the parallel evaluation phase.
+//
+// The pool is latency-oriented: a delta cycle dispatches a handful of
+// islands and waits for all of them, thousands of times per simulated
+// millisecond, so workers spin briefly on the dispatch epoch before
+// falling back to a condition variable. The calling thread participates as
+// lane 0 — `WorkerPool(1)` therefore adds no threads at all and exercises
+// the staging/commit machinery single-threaded.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vhp::sim {
+
+class WorkerPool {
+ public:
+  /// `lanes` = total parallelism including the calling thread; spawns
+  /// `lanes - 1` worker threads (lanes >= 1).
+  explicit WorkerPool(unsigned lanes);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs task(i) for every i in [0, n) across all lanes; the calling
+  /// thread participates and the call returns only when all n completed.
+  /// Tasks must not throw (the kernel captures per-island errors itself).
+  void run(std::size_t n, const std::function<void(std::size_t)>& task);
+
+  [[nodiscard]] unsigned lanes() const {
+    return static_cast<unsigned>(stats_.size());
+  }
+
+  /// Per-lane accounting (lane 0 = the calling thread). Written only by the
+  /// owning lane during run(); read between runs.
+  struct LaneStats {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t items = 0;
+  };
+  [[nodiscard]] const std::vector<LaneStats>& stats() const { return stats_; }
+
+ private:
+  void worker_main(unsigned lane);
+  void run_items(unsigned lane);
+
+  std::vector<std::thread> threads_;
+  std::vector<LaneStats> stats_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+  bool shutdown_ = false;
+
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t n_items_ = 0;
+  std::atomic<std::size_t> next_item_{0};
+  std::atomic<unsigned> done_workers_{0};
+};
+
+}  // namespace vhp::sim

@@ -70,4 +70,19 @@ rm -f /tmp/vhp_timeline_smoke.*.vhprec
 ./build/tools/vhptrace critical --gate 5 /tmp/vhp_timeline_smoke.hw.vhprec \
   /tmp/vhp_timeline_smoke.node*.board.vhprec
 
+# Parallel-kernel gate (ISSUE 8), same shape: the differential fuzzer and
+# session/fabric parity suites (-L kernel-par matches "kernel-par" and
+# "kernel-par-tsan"), the fiber-free half — fuzzer, partitioner, island
+# contract, worker pool — again under ThreadSanitizer, and the
+# kernel_parallel bench in --gate mode: serial/parallel parity on the bench
+# netlist, disarmed overhead under 1%, and (on hosts with >= 4 CPUs) at
+# least 1.5x at 4 workers on the 32-port netlist.
+echo "==== [kernel-par] release gate ===="
+ctest --preset default -L kernel-par "$@"
+echo "==== [kernel-par] tsan gate ===="
+ctest --preset tsan -L kernel-par-tsan "$@"
+echo "==== [kernel-par] bench gate ===="
+cmake --build --preset default -j "$jobs" --target kernel_parallel
+./build/bench/kernel_parallel --gate --quick --json /tmp/kernel_parallel_gate.metrics.json
+
 echo "All presets passed."

@@ -22,6 +22,10 @@ Status CosimConfig::validate() const {
     return Status{StatusCode::kInvalidArgument,
                   "CosimConfig: data_poll_interval must be > 0"};
   }
+  if (parallel_workers > 256) {
+    return Status{StatusCode::kInvalidArgument,
+                  "CosimConfig: parallel_workers must be <= 256"};
+  }
   return Status::Ok();
 }
 
@@ -47,6 +51,34 @@ CosimKernel::CosimKernel(net::CosimLink link, CosimConfig config,
       policy_(config_.resolved_sync()) {
   if (!config_status_.ok()) {
     log_.warn("invalid config: {}", config_status_.to_string());
+  }
+  if (config_status_.ok() && config_.parallel_workers > 0) {
+    kernel_.set_parallel(static_cast<unsigned>(config_.parallel_workers));
+    // Parallel-kernel telemetry: island count, parallel delta cycles and
+    // per-lane busy time land in every metrics dump. Registered only when
+    // the parallel kernel is armed so serial runs keep their exact metric
+    // key set.
+    hub_->add_collector([this](obs::MetricsRegistry& m) {
+      const auto ps = kernel_.parallel_stats();
+      m.gauge("sim.islands").set(static_cast<i64>(ps.islands));
+      m.gauge("sim.parallel_deltas").set(static_cast<i64>(ps.parallel_deltas));
+      m.gauge("sim.repartitions").set(static_cast<i64>(ps.repartitions));
+      for (std::size_t i = 0; i < ps.lanes.size(); ++i) {
+        const auto tag = strformat("sim.worker{}", i);
+        m.gauge(tag + ".islands_run")
+            .set(static_cast<i64>(ps.lanes[i].islands_run));
+        // Busy-time histogram: one sample per collection interval, so the
+        // distribution shows how evaluation work spread across the lanes
+        // over the run.
+        auto& prev = lane_busy_collected_;
+        if (prev.size() <= i) prev.resize(i + 1, 0);
+        if (ps.lanes[i].busy_ns >= prev[i]) {
+          m.histogram(tag + ".busy_ns")
+              .record_ns(ps.lanes[i].busy_ns - prev[i]);
+          prev[i] = ps.lanes[i].busy_ns;
+        }
+      }
+    });
   }
   // Fixed mode reproduces the legacy cadence exactly: the first tick goes
   // out at `quantum`, every later one `quantum` after its predecessor.

@@ -54,6 +54,10 @@ Status FabricConfig::validate() const {
     return Status{StatusCode::kInvalidArgument,
                   "FabricConfig: data_poll_interval must be > 0"};
   }
+  if (parallel_workers > 256) {
+    return Status{StatusCode::kInvalidArgument,
+                  "FabricConfig: parallel_workers must be <= 256"};
+  }
   if (Status s = resolved_sync().validate(nodes.size()); !s.ok()) return s;
   if (Status s = fault_plan.validate(); !s.ok()) return s;
   if (fault_plan.armed() && !fault_plan.lossless() && !recovery.enabled) {
@@ -136,6 +140,15 @@ Fabric::Fabric(FabricConfig config)
                                        : config_.clock_period) {
   Status valid = config_.validate();
   if (!valid.ok()) throw std::invalid_argument(valid.to_string());
+  if (config_.parallel_workers > 0) {
+    kernel_.set_parallel(static_cast<unsigned>(config_.parallel_workers));
+    hub_->add_collector([this](obs::MetricsRegistry& m) {
+      const auto ps = kernel_.parallel_stats();
+      m.gauge("sim.islands").set(static_cast<i64>(ps.islands));
+      m.gauge("sim.parallel_deltas").set(static_cast<i64>(ps.parallel_deltas));
+      m.gauge("sim.repartitions").set(static_cast<i64>(ps.repartitions));
+    });
+  }
   const cosim::SyncPolicy policy = config_.resolved_sync();
 
   schedule_ = fault::compile(config_.fault_plan, hub_.get());

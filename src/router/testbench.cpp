@@ -35,6 +35,14 @@ RouterTestbench::RouterTestbench(
     sink.clock_period = config_.router.clock_period;
     consumers_.push_back(
         std::make_unique<PacketConsumer>(kernel, *router_, sink));
+
+    // The traffic modules reach into the router's FIFOs directly (offer()/
+    // output()) rather than through signals, so under the parallel kernel
+    // they must share the router's island.
+    kernel.co_locate(generators_.back()->affinity_group(),
+                     router_->affinity_group());
+    kernel.co_locate(consumers_.back()->affinity_group(),
+                     router_->affinity_group());
   }
 }
 

@@ -8,7 +8,9 @@
 namespace vhp::sim {
 
 Event::Event(Kernel& kernel, std::string name)
-    : kernel_(kernel), name_(std::move(name)) {}
+    : kernel_(kernel), name_(std::move(name)) {
+  kernel_.register_event(this);
+}
 
 Event::~Event() {
   cancel();

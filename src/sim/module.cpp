@@ -5,21 +5,43 @@
 namespace vhp::sim {
 
 Module::Module(Kernel& kernel, std::string name)
-    : kernel_(kernel), name_(std::move(name)) {}
+    : kernel_(kernel), name_(std::move(name)) {
+  // Every module opens a fresh island-affinity group and leaves it active:
+  // members of the derived class (signals, events, FIFOs, ports) are
+  // constructed after this base constructor runs and inherit the group, so
+  // a module's internals always end up in one island.
+  affinity_ = kernel_.new_affinity_group();
+  kernel_.set_construction_affinity(affinity_);
+}
+
+Module::AffinityScope::AffinityScope(const Module& module)
+    : kernel_(module.kernel_) {
+  const auto ctx = Kernel::construction_context();
+  saved_kernel_ = ctx.first;
+  saved_group_ = ctx.second;
+  kernel_.set_construction_affinity(module.affinity_);
+}
+
+Module::AffinityScope::~AffinityScope() {
+  Kernel::set_construction_context(saved_kernel_, saved_group_);
+}
 
 Process& Module::method(const std::string& proc_name,
                         std::function<void()> fn) {
+  const AffinityScope scope{*this};
   return kernel_.register_process(std::make_unique<MethodProcess>(
       kernel_, qualify(proc_name), std::move(fn)));
 }
 
 Process& Module::thread(const std::string& proc_name,
                         std::function<void()> fn, std::size_t stack_bytes) {
+  const AffinityScope scope{*this};
   return kernel_.register_process(std::make_unique<ThreadProcess>(
       kernel_, qualify(proc_name), std::move(fn), stack_bytes));
 }
 
 BoolSignal& Module::make_bool_signal(const std::string& sig_name, bool init) {
+  const AffinityScope scope{*this};
   auto sig = std::make_unique<BoolSignal>(kernel_, qualify(sig_name), init);
   auto& ref = *sig;
   owned_signals_.push_back(std::move(sig));

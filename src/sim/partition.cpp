@@ -1,0 +1,193 @@
+#include "vhp/sim/partition.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "vhp/sim/event.hpp"
+#include "vhp/sim/process.hpp"
+#include "vhp/sim/signal.hpp"
+
+namespace vhp::sim {
+
+namespace {
+
+/// Plain union-find with path halving + union by size.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+void Partition::build(
+    const std::vector<std::unique_ptr<Process>>& processes,
+    const std::vector<Event*>& events,
+    const std::vector<SignalBase*>& signals,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& entity_unions,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& group_unions) {
+  islands_.clear();
+
+  // Dense DSU node numbering over the live entities; remember each node's
+  // entity id (for canonical ordering) and a back-pointer for write-back.
+  const std::size_t n =
+      processes.size() + events.size() + signals.size();
+  Dsu dsu{n};
+  std::vector<std::uint64_t> entity_id(n, 0);
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  std::unordered_map<const Process*, std::size_t> proc_node;
+  std::unordered_map<const Event*, std::size_t> event_node;
+  std::unordered_map<const SignalBase*, std::size_t> signal_node;
+  by_id.reserve(n);
+
+  std::size_t next = 0;
+  for (const auto& p : processes) {
+    proc_node[p.get()] = next;
+    entity_id[next] = p->entity_id_;
+    by_id[p->entity_id_] = next;
+    ++next;
+  }
+  for (Event* e : events) {
+    event_node[e] = next;
+    entity_id[next] = e->entity_id_;
+    by_id[e->entity_id_] = next;
+    ++next;
+  }
+  for (SignalBase* s : signals) {
+    signal_node[s] = next;
+    entity_id[next] = s->entity_id_;
+    by_id[s->entity_id_] = next;
+    ++next;
+  }
+
+  // 1. Affinity groups: every entity with a group joins its group
+  //    representative; co_locate'd groups merge through their reps.
+  std::unordered_map<std::uint32_t, std::size_t> group_rep;
+  auto join_group = [&](std::uint32_t group, std::size_t node) {
+    if (group == 0) return;
+    auto [it, inserted] = group_rep.try_emplace(group, node);
+    if (!inserted) dsu.unite(it->second, node);
+  };
+  for (const auto& p : processes) join_group(p->affinity_, proc_node[p.get()]);
+  for (Event* e : events) join_group(e->affinity_, event_node[e]);
+  for (SignalBase* s : signals) join_group(s->affinity_, signal_node[s]);
+  for (const auto& [ga, gb] : group_unions) {
+    const auto ia = group_rep.find(ga);
+    const auto ib = group_rep.find(gb);
+    if (ia != group_rep.end() && ib != group_rep.end()) {
+      dsu.unite(ia->second, ib->second);
+    }
+  }
+
+  // 2. Explicit entity-level co-locations (e.g. a Clock's generator process
+  //    with its signal). Pairs referencing dead entities were pruned by the
+  //    kernel on unregistration.
+  for (const auto& [a, b] : entity_unions) {
+    const auto ia = by_id.find(a);
+    const auto ib = by_id.find(b);
+    if (ia != by_id.end() && ib != by_id.end()) dsu.unite(ia->second, ib->second);
+  }
+
+  // 3. Structural edges from the event graph.
+  for (Event* e : events) {
+    const std::size_t en = event_node[e];
+    if (e->owner_signal_ != nullptr) {
+      const auto it = signal_node.find(e->owner_signal_);
+      if (it != signal_node.end()) dsu.unite(en, it->second);
+    }
+    if (e->owner_process_ != nullptr) {
+      const auto it = proc_node.find(e->owner_process_);
+      if (it != proc_node.end()) dsu.unite(en, it->second);
+    }
+    // Sensitivity to a signal-owned event is the island cut; sensitivity to
+    // a plain event glues notifier-side and listener-side together (the
+    // event may be notified immediately, within the evaluation phase).
+    if (e->owner_signal_ == nullptr) {
+      for (Process* p : e->static_sensitive_) {
+        const auto it = proc_node.find(p);
+        if (it != proc_node.end()) dsu.unite(en, it->second);
+      }
+    }
+  }
+
+  // Number the components canonically: islands ordered by the smallest
+  // entity id (= construction order) they contain.
+  std::unordered_map<std::size_t, std::uint64_t> min_id;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = dsu.find(i);
+    const auto [it, inserted] = min_id.try_emplace(root, entity_id[i]);
+    if (!inserted) it->second = std::min(it->second, entity_id[i]);
+  }
+  std::vector<std::pair<std::uint64_t, std::size_t>> order;
+  order.reserve(min_id.size());
+  for (const auto& [root, id] : min_id) order.emplace_back(id, root);
+  std::sort(order.begin(), order.end());
+
+  std::unordered_map<std::size_t, std::uint32_t> island_of_root;
+  islands_.resize(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    island_of_root[order[i].second] = id;
+    islands_[i].id = id;
+  }
+
+  for (const auto& p : processes) {
+    const std::uint32_t isl = island_of_root[dsu.find(proc_node[p.get()])];
+    p->island_ = isl;
+    ++islands_[isl].n_processes;
+  }
+  for (Event* e : events) {
+    e->island_ = island_of_root[dsu.find(event_node[e])];
+  }
+  for (SignalBase* s : signals) {
+    s->island_ = island_of_root[dsu.find(signal_node[s])];
+  }
+
+  // VHP_PARTITION_DEBUG=1 dumps every entity with its island and affinity
+  // group — the tool for diagnosing "why did these modules merge".
+  if (std::getenv("VHP_PARTITION_DEBUG") != nullptr) {
+    std::fprintf(stderr, "[partition] %zu islands over %zu entities\n",
+                 islands_.size(), n);
+    for (const auto& p : processes) {
+      std::fprintf(stderr, "[partition]   P i=%u g=%u %s\n", p->island_,
+                   p->affinity_, p->name().c_str());
+    }
+    for (Event* e : events) {
+      std::fprintf(stderr, "[partition]   E i=%u g=%u sens=%zu %s%s%s\n",
+                   e->island_, e->affinity_, e->static_sensitive_.size(),
+                   e->name().c_str(),
+                   e->owner_signal_ ? " [sig-owned]" : "",
+                   e->owner_process_ ? " [proc-owned]" : "");
+    }
+    for (SignalBase* s : signals) {
+      std::fprintf(stderr, "[partition]   S i=%u g=%u %s\n", s->island_,
+                   s->affinity_, s->name().c_str());
+    }
+  }
+}
+
+}  // namespace vhp::sim

@@ -12,13 +12,16 @@ thread_local ThreadProcess* tls_current_thread = nullptr;
 }
 
 Process::Process(Kernel& kernel, Kind kind, std::string name)
-    : kernel_(kernel), kind_(kind), name_(std::move(name)) {}
+    : kernel_(kernel), kind_(kind), name_(std::move(name)) {
+  affinity_ = kernel_.construction_affinity();
+}
 
 Process::~Process() = default;
 
 Process& Process::sensitive(Event& event) {
   event.static_sensitive_.push_back(this);
   static_events_.push_back(&event);
+  kernel_.mark_partition_dirty();  // sensitivity edges feed the partitioner
   return *this;
 }
 
@@ -56,7 +59,11 @@ ThreadProcess::ThreadProcess(Kernel& kernel, std::string name,
     : Process(kernel, Kind::kThread, std::move(name)),
       fn_(std::move(fn)),
       fiber_([this] { fn_(); }, stack_bytes),
-      timeout_event_(kernel, name_ + ".timeout") {}
+      timeout_event_(kernel, name_ + ".timeout") {
+  // The timeout event is private to this thread: co-locate them so wait_for
+  // / wait_with_timeout never cross an island boundary.
+  timeout_event_.owner_process_ = this;
+}
 
 void ThreadProcess::execute() {
   ThreadProcess* prev = tls_current_thread;
@@ -75,7 +82,13 @@ Event* ThreadProcess::wait_on_any(std::initializer_list<Event*> events) {
   const std::uint64_t token = ++wait_token_;
   dynamic_wait_active_ = true;
   last_dynamic_trigger_ = nullptr;
-  for (Event* e : events) e->dynamic_waiters_.emplace_back(this, token);
+  for (Event* e : events) {
+    // During a parallel evaluation phase a dynamic wait may only register
+    // on events of the executing island (the registration mutates the
+    // event); serial runs pass through unchecked.
+    kernel_.check_eval_access(*e);
+    e->dynamic_waiters_.emplace_back(this, token);
+  }
   Fiber::yield_to_resumer();
   // Woken by exactly one of the events; the rest hold stale registrations
   // that their next trigger discards.

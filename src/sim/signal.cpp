@@ -6,9 +6,15 @@ namespace vhp::sim {
 
 SignalBase::SignalBase(Kernel& kernel, std::string name)
     : kernel_(kernel), name_(std::move(name)),
-      changed_(kernel, name_ + ".changed") {}
+      changed_(kernel, name_ + ".changed") {
+  // Signal-owned events are the island cut: sensitivity to them never
+  // merges the reader with the writer (signals are delta-delayed, so
+  // cross-island reads are race-free by construction).
+  changed_.owner_signal_ = this;
+  kernel_.register_signal(this);
+}
 
-SignalBase::~SignalBase() = default;
+SignalBase::~SignalBase() { kernel_.unregister_signal(this); }
 
 void SignalBase::request_update() { kernel_.request_update(this); }
 
@@ -19,7 +25,10 @@ void SignalBase::notify_change_hooks() {
 BoolSignal::BoolSignal(Kernel& kernel, std::string name, bool init)
     : Signal<bool>(kernel, std::move(name), init),
       posedge_(kernel, this->name() + ".pos"),
-      negedge_(kernel, this->name() + ".neg") {}
+      negedge_(kernel, this->name() + ".neg") {
+  posedge_.owner_signal_ = this;
+  negedge_.owner_signal_ = this;
+}
 
 void BoolSignal::on_changed() {
   (cur_ ? posedge_ : negedge_).notify_delta();
@@ -34,7 +43,10 @@ Clock::Clock(Kernel& kernel, std::string name, SimTime period,
   auto proc = std::make_unique<MethodProcess>(
       kernel, this->name() + ".gen", [this] { toggle(); });
   proc->sensitive(tick_).dont_initialize();
-  kernel.register_process(std::move(proc));
+  Process& gen = kernel.register_process(std::move(proc));
+  // The generator writes this signal; keep both in one island no matter
+  // what construction affinity was active at our construction site.
+  kernel.co_locate(gen, *this);
   tick_.notify_at(start_time);
 }
 

@@ -1,0 +1,105 @@
+#include "vhp/sim/worker_pool.hpp"
+
+#include <chrono>
+
+namespace vhp::sim {
+
+namespace {
+constexpr int kSpinIters = 4096;
+}
+
+WorkerPool::WorkerPool(unsigned lanes) {
+  if (lanes == 0) lanes = 1;
+  stats_.resize(lanes);
+  threads_.reserve(lanes - 1);
+  for (unsigned lane = 1; lane < lanes; ++lane) {
+    threads_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    // Single lane: no dispatch protocol needed.
+    task_ = &task;
+    n_items_ = n;
+    next_item_.store(0, std::memory_order_relaxed);
+    run_items(0);
+    task_ = nullptr;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    n_items_ = n;
+    next_item_.store(0, std::memory_order_relaxed);
+    done_workers_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  run_items(0);
+  // Fork-join barrier: every worker passes through the epoch exactly once
+  // (sleepers are woken by the notify above), so once all have acknowledged
+  // no lane can still be pulling items and the shared state is quiescent.
+  const auto all = static_cast<unsigned>(threads_.size());
+  int spin = 0;
+  while (done_workers_.load(std::memory_order_acquire) != all) {
+    if (++spin > kSpinIters) {
+      std::this_thread::yield();
+      spin = 0;
+    }
+  }
+  task_ = nullptr;
+}
+
+void WorkerPool::worker_main(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    for (int spin = 0; spin < kSpinIters && e == seen; ++spin) {
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    if (e == seen) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return shutdown_ || epoch_.load(std::memory_order_relaxed) != seen;
+      });
+      if (shutdown_) return;
+      e = epoch_.load(std::memory_order_relaxed);
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) return;
+    }
+    seen = e;
+    run_items(lane);
+    done_workers_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void WorkerPool::run_items(unsigned lane) {
+  using Clock = std::chrono::steady_clock;
+  for (;;) {
+    const std::size_t i = next_item_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= n_items_) return;
+    const auto start = Clock::now();
+    (*task_)(i);
+    const auto end = Clock::now();
+    stats_[lane].busy_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+    ++stats_[lane].items;
+  }
+}
+
+}  // namespace vhp::sim

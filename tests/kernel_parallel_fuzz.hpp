@@ -1,0 +1,275 @@
+// Differential fuzz harness for the deterministic parallel kernel.
+//
+// Builds seeded random netlists of FuzzModules — mixed timed / delta /
+// immediate notifications, cross-island signal fanout, dynamic waits and
+// mid-simulation process/signal creation (the cosim SyncAgent pattern) —
+// and runs the SAME netlist under the serial kernel and under
+// set_parallel(N) for several N. The parallel contract (islands communicate
+// only through delta-delayed signals) promises bit-identical observable
+// state, so the oracle is exact equality of:
+//   * every signal's final value (construction order, including signals
+//     created mid-simulation),
+//   * the kernel's delta_count() and virtual time,
+//   * the canonicalized value-change trace (time, delta index, signal name,
+//     value) — canonicalized because WITHIN one delta cycle the update-hook
+//     call order across islands is the commit order, not the serial
+//     interleaving; the set of changes per delta is identical, so a stable
+//     sort by (time, delta, name) makes the traces comparable byte for byte.
+//
+// Determinism rules the generator obeys (the contract's fine print):
+//   * processes keep PRIVATE state — cross-process communication goes
+//     through signals (single driver each) or own-module events;
+//   * each event is notified by exactly ONE process (pending-state
+//     transitions and immediate re-triggering are order-sensitive when two
+//     writers race on one event, even in the serial kernel);
+//   * immediate notify() targets a listener that is sensitive to nothing
+//     else, so its execution count per evaluation phase is independent of
+//     intra-phase ordering.
+// Runtime decisions come from per-process LCG streams (advanced only by
+// that process's executions), never from a shared generator, so the
+// decision sequence is identical in every run of the same seed.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "vhp/common/rng.hpp"
+#include "vhp/common/types.hpp"
+#include "vhp/sim/kernel.hpp"
+#include "vhp/sim/module.hpp"
+
+namespace vhp::sim {
+
+struct FuzzConfig {
+  u64 seed = 1;
+  std::size_t n_modules = 6;
+  /// Include a thread process per module (fiber-based dynamic waits).
+  /// Off in the TSan suite: ThreadSanitizer cannot follow swapcontext.
+  bool threads = true;
+  /// Allow tickers to create processes + signals mid-simulation.
+  bool spawners = true;
+  SimTime run_time = 2500;
+};
+
+struct FuzzTraceEntry {
+  SimTime time;
+  u64 delta;
+  std::string name;
+  u64 value;
+
+  [[nodiscard]] auto key() const { return std::tie(time, delta, name); }
+  bool operator==(const FuzzTraceEntry& other) const {
+    return time == other.time && delta == other.delta &&
+           name == other.name && value == other.value;
+  }
+};
+
+struct FuzzResult {
+  std::vector<u64> finals;  // all signals, creation order
+  u64 delta_count = 0;
+  SimTime end_time = 0;
+  std::size_t islands = 0;
+  std::size_t spawned = 0;
+  std::vector<FuzzTraceEntry> trace;  // canonicalized
+};
+
+class FuzzModule : public Module {
+ public:
+  FuzzModule(Kernel& kernel, std::size_t index, const FuzzConfig& cfg,
+             Rng& build_rng, std::vector<FuzzTraceEntry>* trace)
+      : Module(kernel, "fuzz" + std::to_string(index)),
+        cfg_(cfg),
+        trace_(trace),
+        tick_(kernel, qualify("tick")),
+        aux_(kernel, qualify("aux")),
+        chain_(kernel, qualify("chain")),
+        r_aux_(kernel, qualify("r_aux")) {
+    for (std::size_t s = 0; s < kLcgSlots; ++s) lcg_[s] = build_rng.next();
+    for (std::size_t s = 0; s < 4; ++s) {
+      signals_.push_back(&traced_signal("out" + std::to_string(s)));
+    }
+    // The ticker drives everything: re-arms its own timed event, mixes
+    // foreign signal values into private state, and (per its LCG stream)
+    // exercises every notification kind on the events it owns.
+    method("ticker", [this] { ticker(); });
+    // The immediate-notification listener: sensitive ONLY to chain_.
+    method("listener", [this] { listener(); }).sensitive(chain_)
+        .dont_initialize();
+  }
+
+  /// Wires the cross-island fanout: the reactor is statically sensitive to
+  /// 2-3 foreign output signals (the partition's cut edges) plus the
+  /// module-own aux_ event, and the optional thread does dynamic waits.
+  void connect(const std::vector<FuzzModule*>& all, Rng& build_rng) {
+    Process& reactor =
+        method("reactor", [this] { react(); }).dont_initialize();
+    reactor.sensitive(aux_);
+    const std::size_t n_foreign = 2 + build_rng.below(2);
+    for (std::size_t i = 0; i < n_foreign; ++i) {
+      FuzzModule& m = *all[build_rng.below(all.size())];
+      Signal<u64>& s = *m.signals_[build_rng.below(m.signals_.size())];
+      reactor.sensitive(s.value_changed_event());
+      foreign_.push_back(&s);
+    }
+    if (cfg_.threads) {
+      thread("worker", [this] { worker(); });
+    }
+  }
+
+  [[nodiscard]] const std::vector<Signal<u64>*>& signals() const {
+    return signals_;
+  }
+  [[nodiscard]] std::size_t spawned() const { return spawned_; }
+
+ private:
+  static constexpr std::size_t kLcgSlots = 5;
+  static constexpr std::size_t kMaxChildren = 3;
+
+  /// Per-process deterministic decision stream (slot = process).
+  u64 lcg(std::size_t slot) {
+    lcg_[slot] = lcg_[slot] * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg_[slot] >> 33;
+  }
+
+  static u64 mix(u64 acc, u64 v) {
+    acc ^= v + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2);
+    return acc;
+  }
+
+  Signal<u64>& traced_signal(const std::string& name) {
+    Signal<u64>& sig = make_signal<u64>(name);
+    // Hooks run in the single-threaded update phase, so the shared trace
+    // vector needs no locking; delta_count() is the index of the delta
+    // cycle being committed (incremented after the phases).
+    sig.add_change_hook([this, &sig](SimTime t) {
+      trace_->push_back({t, kernel_.delta_count(), sig.name(), sig.read()});
+    });
+    return sig;
+  }
+
+  u64 read_foreign(std::size_t slot) {
+    u64 acc = 0;
+    for (const Signal<u64>* s : foreign_) acc = mix(acc, s->read());
+    return mix(acc, lcg(slot));
+  }
+
+  void ticker() {
+    tick_.notify_at(1 + lcg(0) % 9);
+    acc_[0] = mix(acc_[0], read_foreign(0));
+    switch (lcg(0) % 8) {
+      case 0: aux_.notify_delta(); break;
+      case 1: aux_.notify_at(1 + lcg(0) % 7); break;
+      case 2: aux_.cancel(); break;
+      case 3: chain_.notify(); break;  // immediate, in-phase
+      case 4:
+        if (cfg_.spawners && spawned_ < kMaxChildren) spawn_child();
+        break;
+      default: break;
+    }
+    if (lcg(0) % 2 == 0) signals_[0]->write(acc_[0]);
+  }
+
+  void react() {
+    acc_[1] = mix(acc_[1], read_foreign(1));
+    if (lcg(1) % 3 != 0) signals_[1]->write(acc_[1]);
+    if (lcg(1) % 4 == 0) r_aux_.notify_delta();
+    if (lcg(1) % 5 == 0) r_aux_.notify_at(2 + lcg(1) % 5);
+  }
+
+  void listener() {
+    acc_[2] = mix(acc_[2], lcg(2));
+    signals_[2]->write(acc_[2]);
+  }
+
+  void worker() {
+    for (;;) {
+      switch (lcg(3) % 3) {
+        case 0: wait(1 + lcg(3) % 11); break;
+        case 1:
+          (void)wait_with_timeout(r_aux_, 1 + lcg(3) % 6);
+          break;
+        default:
+          (void)wait_any({&r_aux_, &tick_});
+          break;
+      }
+      acc_[3] = mix(acc_[3], read_foreign(3));
+      if (lcg(3) % 2 == 0) signals_[3]->write(acc_[3]);
+    }
+  }
+
+  /// Mid-simulation structural growth (the cosim SyncAgent pattern): a new
+  /// method AND a new signal created from inside an evaluation phase. Under
+  /// the parallel kernel both are staged into the executing island and
+  /// committed with deterministic entity ids after the barrier.
+  void spawn_child() {
+    const std::size_t id = spawned_++;
+    Signal<u64>& out = traced_signal("child" + std::to_string(id) + ".out");
+    signals_.push_back(&out);
+    const std::size_t slot = 4;
+    method("child" + std::to_string(id),
+           [this, &out, slot] {
+             acc_[slot] = mix(acc_[slot], read_foreign(slot));
+             out.write(acc_[slot]);
+           })
+        .sensitive(aux_);
+  }
+
+  const FuzzConfig& cfg_;
+  std::vector<FuzzTraceEntry>* trace_;
+  Event tick_;
+  Event aux_;    // notified by the ticker only
+  Event chain_;  // immediate-notify target, listener-only sensitivity
+  Event r_aux_;  // notified by the reactor only; thread waits on it
+  std::vector<Signal<u64>*> signals_;
+  std::vector<Signal<u64>*> foreign_;
+  u64 lcg_[kLcgSlots] = {};
+  u64 acc_[kLcgSlots] = {};
+  std::size_t spawned_ = 0;
+};
+
+/// Builds the seeded netlist and runs it to cfg.run_time under `lanes`
+/// evaluation lanes (0 = serial legacy path).
+inline FuzzResult run_fuzz_net(const FuzzConfig& cfg, unsigned lanes) {
+  Kernel kernel;
+  // Hang guard: a supercritical change cascade would livelock identically in
+  // every mode; better a loud deterministic throw than a stuck test.
+  kernel.set_delta_limit(1u << 20);
+  if (lanes > 0) kernel.set_parallel(lanes);
+  std::vector<FuzzTraceEntry> trace;
+  Rng build_rng{cfg.seed};
+  std::vector<std::unique_ptr<FuzzModule>> modules;
+  std::vector<FuzzModule*> raw;
+  for (std::size_t i = 0; i < cfg.n_modules; ++i) {
+    modules.push_back(
+        std::make_unique<FuzzModule>(kernel, i, cfg, build_rng, &trace));
+    raw.push_back(modules.back().get());
+  }
+  for (FuzzModule* m : raw) m->connect(raw, build_rng);
+
+  // Run in two legs so the harness also covers re-entry (partition reuse
+  // across run_until calls).
+  kernel.run_until(cfg.run_time / 2);
+  kernel.run_until(cfg.run_time);
+
+  FuzzResult result;
+  for (FuzzModule* m : raw) {
+    for (const Signal<u64>* s : m->signals()) {
+      result.finals.push_back(s->read());
+    }
+    result.spawned += m->spawned();
+  }
+  result.delta_count = kernel.delta_count();
+  result.end_time = kernel.now();
+  result.islands = kernel.island_count();
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const FuzzTraceEntry& a, const FuzzTraceEntry& b) {
+                     return a.key() < b.key();
+                   });
+  result.trace = std::move(trace);
+  return result;
+}
+
+}  // namespace vhp::sim

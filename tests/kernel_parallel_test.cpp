@@ -1,0 +1,95 @@
+// Differential fuzz tests for the deterministic parallel kernel — fiber
+// variant: every netlist includes thread processes (dynamic waits,
+// wait_with_timeout, wait_any), so this suite carries the plain
+// "kernel-par" label and stays out of the tsan preset (ThreadSanitizer
+// cannot follow swapcontext; the fiber-free twin lives in
+// kernel_parallel_tsan_test.cpp).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernel_parallel_fuzz.hpp"
+
+namespace vhp::sim {
+namespace {
+
+void expect_bit_identical(const FuzzResult& serial, const FuzzResult& par) {
+  ASSERT_EQ(par.finals.size(), serial.finals.size());
+  for (std::size_t i = 0; i < serial.finals.size(); ++i) {
+    ASSERT_EQ(par.finals[i], serial.finals[i]) << "signal index " << i;
+  }
+  EXPECT_EQ(par.delta_count, serial.delta_count);
+  EXPECT_EQ(par.end_time, serial.end_time);
+  EXPECT_EQ(par.islands, serial.islands);
+  EXPECT_EQ(par.spawned, serial.spawned);
+  ASSERT_EQ(par.trace.size(), serial.trace.size());
+  for (std::size_t i = 0; i < serial.trace.size(); ++i) {
+    ASSERT_TRUE(par.trace[i] == serial.trace[i])
+        << "trace entry " << i << ": t=" << serial.trace[i].time << " '"
+        << serial.trace[i].name << "' vs t=" << par.trace[i].time << " '"
+        << par.trace[i].name << "'";
+  }
+}
+
+TEST(KernelParallelFuzz, BitIdenticalAcrossWorkerCounts) {
+  std::size_t total_spawned = 0;
+  u64 total_deltas = 0;
+  for (u64 seed = 1; seed <= 30; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    FuzzConfig cfg;
+    cfg.seed = seed * 7919;
+    const FuzzResult serial = run_fuzz_net(cfg, 0);
+    ASSERT_GT(serial.islands, 1u) << "netlist degenerated to one island";
+    ASSERT_FALSE(serial.trace.empty()) << "netlist produced no activity";
+    total_spawned += serial.spawned;
+    total_deltas += serial.delta_count;
+    for (unsigned lanes : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes));
+      expect_bit_identical(serial, run_fuzz_net(cfg, lanes));
+    }
+  }
+  // The generator really exercised the hard paths: mid-simulation
+  // process/signal creation and nontrivial delta traffic.
+  EXPECT_GT(total_spawned, 0u);
+  EXPECT_GT(total_deltas, 1000u);
+}
+
+TEST(KernelParallelFuzz, ReArmingParallelMidRunStaysIdentical) {
+  // Flipping between serial and parallel between run_until legs must not
+  // change anything observable either (the partition survives, the pool is
+  // re-created lazily).
+  FuzzConfig cfg;
+  cfg.seed = 1234;
+  const FuzzResult serial = run_fuzz_net(cfg, 0);
+
+  Kernel kernel;
+  kernel.set_delta_limit(1u << 20);
+  std::vector<FuzzTraceEntry> trace;
+  Rng build_rng{cfg.seed};
+  std::vector<std::unique_ptr<FuzzModule>> modules;
+  std::vector<FuzzModule*> raw;
+  for (std::size_t i = 0; i < cfg.n_modules; ++i) {
+    modules.push_back(
+        std::make_unique<FuzzModule>(kernel, i, cfg, build_rng, &trace));
+    raw.push_back(modules.back().get());
+  }
+  for (FuzzModule* m : raw) m->connect(raw, build_rng);
+
+  kernel.run_until(cfg.run_time / 4);
+  kernel.set_parallel(3);
+  kernel.run_until(cfg.run_time / 2);
+  kernel.set_parallel(0);
+  kernel.run_until(3 * cfg.run_time / 4);
+  kernel.set_parallel(2);
+  kernel.run_until(cfg.run_time);
+
+  std::vector<u64> finals;
+  for (FuzzModule* m : raw) {
+    for (const Signal<u64>* s : m->signals()) finals.push_back(s->read());
+  }
+  EXPECT_EQ(finals, serial.finals);
+  EXPECT_EQ(kernel.delta_count(), serial.delta_count);
+}
+
+}  // namespace
+}  // namespace vhp::sim

@@ -1,17 +1,29 @@
 // Micro-benchmarks of the RV32IM interpreter: raw instructions per second
-// of the firmware-level timing model.
-#include <benchmark/benchmark.h>
+// of the firmware-level timing model, flat (StepResult cycles straight to
+// the budget) and pipelined (every step priced through the vhp::mem
+// hierarchy — I-cache fetch, D-cache data access, banked memory).
+//
+// Output: BENCH_micro_iss.metrics.json — one row per workload x model with
+// host MIPS and the timing-model counters of the run, so a trajectory of
+// this file shows interpreter-speed and model-overhead drift over time.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
 
 #include "vhp/iss/assemble.hpp"
 #include "vhp/iss/cpu.hpp"
-
-namespace {
+#include "vhp/iss/timed_bus.hpp"
+#include "vhp/mem/config.hpp"
+#include "vhp/mem/system.hpp"
 
 using namespace vhp;
 using namespace vhp::iss;
 
-void BM_AluLoop(benchmark::State& state) {
-  // addi/bne loop: the interpreter's hot path.
+namespace {
+
+// addi/bne countdown: the interpreter's hot path.
+Asm alu_loop() {
   Asm a;
   const auto loop = a.make_label();
   a.li(1, 1000000000);  // effectively endless for the bench window
@@ -19,22 +31,11 @@ void BM_AluLoop(benchmark::State& state) {
   a.addi(1, 1, -1);
   a.bne(1, 0, loop);
   a.ecall();
-  sim::Memory ram{"ram"};
-  a.load_into(ram, 0x1000);
-  MemoryBus bus{ram};
-  Cpu cpu{bus};
-  cpu.set_pc(0x1000);
-  cpu.step();  // li pair
-  cpu.step();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cpu.step());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  return a;
 }
-BENCHMARK(BM_AluLoop);
 
-void BM_MemoryCopyLoop(benchmark::State& state) {
-  // lw/sw copy loop: load/store path through the sparse memory.
+// lw/sw copy loop: load/store path through the sparse memory.
+Asm memcopy_loop() {
   Asm a;
   const auto loop = a.make_label();
   a.li(1, 0x4000);      // src
@@ -48,20 +49,11 @@ void BM_MemoryCopyLoop(benchmark::State& state) {
   a.addi(3, 3, -1);
   a.bne(3, 0, loop);
   a.ecall();
-  sim::Memory ram{"ram"};
-  a.load_into(ram, 0x1000);
-  MemoryBus bus{ram};
-  Cpu cpu{bus};
-  cpu.set_pc(0x1000);
-  for (int i = 0; i < 6; ++i) cpu.step();  // li prologue
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cpu.step());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  return a;
 }
-BENCHMARK(BM_MemoryCopyLoop);
 
-void BM_MulDivMix(benchmark::State& state) {
+// mul/divu/remu: the multi-cycle arithmetic path.
+Asm muldiv_mix() {
   Asm a;
   const auto loop = a.make_label();
   a.li(1, 123456789);
@@ -71,19 +63,125 @@ void BM_MulDivMix(benchmark::State& state) {
   a.divu(4, 1, 2);
   a.remu(5, 1, 2);
   a.j(loop);
+  return a;
+}
+
+struct RunResult {
+  double wall_s = 0;
+  u64 sim_cycles = 0;      // virtual cycles the instructions cost
+  std::string metrics;     // JSON object body of model counters
+};
+
+/// Steps `n` instructions on a flat bus: the single-core default timing.
+RunResult run_flat(const Asm& prog, u64 n) {
   sim::Memory ram{"ram"};
-  a.load_into(ram, 0x1000);
+  prog.load_into(ram, 0x1000);
   MemoryBus bus{ram};
   Cpu cpu{bus};
   cpu.set_pc(0x1000);
-  for (int i = 0; i < 4; ++i) cpu.step();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cpu.step());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  u64 cycles = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < n; ++i) cycles += cpu.step().cycles;
+  const auto end = std::chrono::steady_clock::now();
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(end - start).count();
+  r.sim_cycles = cycles;
+  r.metrics = "{\"sim_cycles\":" + std::to_string(cycles) + "}";
+  return r;
 }
-BENCHMARK(BM_MulDivMix);
+
+/// Steps `n` instructions with the memory hierarchy in the timing path,
+/// exactly as IssRunner prices an armed many-core board (minus MMIO).
+RunResult run_pipelined(const Asm& prog, u64 n) {
+  sim::Memory ram{"ram"};
+  prog.load_into(ram, 0x1000);
+  MemoryBus bus{ram};
+  TimedBus timed{bus};
+  Cpu cpu{timed};
+  cpu.set_pc(0x1000);
+  mem::MemorySystem sys{mem::MemConfig{}, 1};
+  mem::CorePort& port = sys.port(0);
+  u64 now = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < n; ++i) {
+    timed.begin_instruction();
+    const StepResult step = cpu.step();
+    const auto& acc = timed.accesses();
+    const u64 fetch = acc.has_fetch ? port.fetch(acc.fetch_addr, now) : 0;
+    u64 data = 0;
+    if (acc.has_data) {
+      data = port.data_access(acc.data_addr, acc.data_is_store, now + fetch);
+    }
+    now += port.pipeline().instruction(step.cycles, fetch, data);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(end - start).count();
+  r.sim_cycles = now;
+  const auto& p = port.pipeline().stats();
+  r.metrics = strformat(
+      "{\"sim_cycles\":{},\"icache_hits\":{},\"icache_misses\":{},"
+      "\"dcache_hits\":{},\"dcache_misses\":{},\"fetch_stall_cycles\":{},"
+      "\"data_stall_cycles\":{},\"bank_requests\":{}}",
+      now, port.icache().hits(), port.icache().misses(), port.dcache().hits(),
+      port.dcache().misses(), p.fetch_stall_cycles, p.data_stall_cycles,
+      sys.memory().requests());
+  return r;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::print_header(
+      "ISS interpreter speed: flat vs pipelined (memory hierarchy) pricing",
+      "firmware timing model throughput, DESIGN.md SS6/SS13");
+  const bool quick = bench::quick_mode(argc, argv);
+  const u64 n = quick ? 1'000'000 : 5'000'000;
+  const int reps = quick ? 2 : 3;
+
+  const struct {
+    const char* name;
+    Asm prog;
+  } workloads[] = {{"alu_loop", alu_loop()},
+                   {"memcopy_loop", memcopy_loop()},
+                   {"muldiv_mix", muldiv_mix()}};
+
+  std::vector<bench::JsonRow> rows;
+  std::printf("%14s %10s %12s %10s %14s\n", "workload", "model", "wall_min_s",
+              "host_mips", "cycles_per_ins");
+  for (const auto& w : workloads) {
+    for (const bool pipelined : {false, true}) {
+      RunResult best;
+      best.wall_s = 1e100;
+      for (int i = 0; i < reps; ++i) {
+        RunResult one = pipelined ? run_pipelined(w.prog, n)
+                                  : run_flat(w.prog, n);
+        if (one.wall_s < best.wall_s) best = std::move(one);
+      }
+      const double mips =
+          best.wall_s > 0 ? static_cast<double>(n) / best.wall_s / 1e6 : 0.0;
+      const double cpi = static_cast<double>(best.sim_cycles) /
+                         static_cast<double>(n);
+      const char* model = pipelined ? "pipelined" : "flat";
+      std::printf("%14s %10s %12.4f %10.1f %14.2f\n", w.name, model,
+                  best.wall_s, mips, cpi);
+      bench::JsonRow row;
+      row.params = strformat(
+          "\"workload\":\"{}\",\"model\":\"{}\",\"instructions\":{},"
+          "\"reps\":{},\"host_mips\":{},\"cycles_per_instruction\":{}",
+          w.name, model, n, reps, mips, cpi);
+      row.wall_seconds = best.wall_s;
+      row.metrics_json = best.metrics;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const std::string path =
+      bench::json_output_path(argc, argv, "BENCH_micro_iss.metrics.json");
+  if (!bench::write_bench_json(path, "micro_iss", rows)) {
+    std::fprintf(stderr, "\nfailed to write %s\n", path.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

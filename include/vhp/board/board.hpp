@@ -13,10 +13,13 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "vhp/board/channel_waiter.hpp"
 #include "vhp/common/log.hpp"
+#include "vhp/mem/config.hpp"
+#include "vhp/mem/system.hpp"
 #include "vhp/net/channel.hpp"
 #include "vhp/obs/hub.hpp"
 #include "vhp/rtos/device.hpp"
@@ -47,6 +50,12 @@ struct BoardConfig {
   /// Kernel::next_event_cycles(). Off by default so acks stay byte-identical
   /// to the v1 wire format unless the master opted into adaptive mode.
   bool advertise_lookahead = false;
+  /// Memory hierarchy (DESIGN.md §13): when set, the board owns a
+  /// mem::MemorySystem with rtos.cores ports — the ISS runners attach to it
+  /// and instruction cost becomes pipelined (caches, bank contention).
+  /// Unset (default) keeps the flat cycle-budget board, bit-compatible with
+  /// every existing recording. Required whenever rtos.cores > 1.
+  std::optional<mem::MemConfig> memory;
 };
 
 class Board {
@@ -68,6 +77,10 @@ class Board {
   [[nodiscard]] rtos::Kernel& kernel() { return kernel_; }
   [[nodiscard]] rtos::DeviceTable& devtab() { return devtab_; }
   [[nodiscard]] const BoardConfig& config() const { return config_; }
+
+  /// The memory hierarchy; nullptr on a flat (legacy) board — present
+  /// exactly when BoardConfig::memory is set.
+  [[nodiscard]] mem::MemorySystem* memory_system() { return memsys_.get(); }
 
   /// ----- remote device access (driver internals; applications normally
   /// go through devtab().lookup(kDeviceName)) -----
@@ -137,6 +150,8 @@ class Board {
 
   rtos::Kernel kernel_;
   rtos::DeviceTable devtab_;
+  /// Set iff config_.memory is (see memory_system()).
+  std::unique_ptr<mem::MemorySystem> memsys_;
 
   std::unique_ptr<ChannelWaiter> data_rx_;
   std::unique_ptr<ChannelWaiter> int_rx_;

@@ -126,6 +126,20 @@ class SessionConfigBuilder {
     return *this;
   }
 
+  /// Many-core board (DESIGN.md §13): M virtual cores under the SMP kernel.
+  /// M > 1 requires a memory hierarchy — pair with memory(); validation
+  /// rejects the combination otherwise.
+  SessionConfigBuilder& cores(u32 m) {
+    config_.board.rtos.cores = m;
+    return *this;
+  }
+  /// Attaches a memory hierarchy (per-core L1 I/D caches, banked shared
+  /// memory) to the board; ISS instruction cost becomes pipelined.
+  SessionConfigBuilder& memory(mem::MemConfig config) {
+    config_.board.memory = config;
+    return *this;
+  }
+
   SessionConfigBuilder& link_latency(std::chrono::microseconds one_way) {
     config_.link_emulation.latency = one_way;
     return *this;

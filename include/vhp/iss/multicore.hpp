@@ -1,0 +1,68 @@
+// The many-core virtual board tier (DESIGN.md §13).
+//
+// MultiCoreBoard puts M ISS cores behind the board's memory hierarchy: one
+// IssRunner per core, each pinned to its virtual core under the SMP kernel
+// and attached to its mem::CorePort, so every core fetches through its own
+// L1 I-cache, loads/stores through its own L1 D-cache, and contends with
+// its siblings on the shared banked memory. All cores execute out of the
+// same sim::Memory (shared-memory SMP) and share the one remote-device MMIO
+// window; software partitions the address space (per-core entry points and
+// descending stacks, exactly like firmware on real SMP parts).
+//
+// Requires a board built with BoardConfig::memory set and rtos.cores == the
+// number of entry points (SessionConfigBuilder::cores(M).memory(...)).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "vhp/iss/runner.hpp"
+
+namespace vhp::iss {
+
+struct MultiCoreBoardConfig {
+  /// Per-core firmware entry points; one core is instantiated per entry.
+  /// All cores may share one entry (SPMD style; firmware reads its core id
+  /// from the kCoreIdSyscall) or each get their own.
+  std::vector<u32> entry_pcs;
+  /// Template runner config. entry_pc and thread_name are overridden per
+  /// core; stack_top descends by stack_stride per core so stacks never
+  /// collide.
+  IssRunnerConfig runner{};
+  u32 stack_stride = 0x0001'0000;
+};
+
+class MultiCoreBoard {
+ public:
+  /// `board.memory_system()` must be non-null with at least
+  /// `config.entry_pcs.size()` ports (asserted).
+  MultiCoreBoard(board::Board& board, sim::Memory& ram,
+                 MultiCoreBoardConfig config);
+
+  MultiCoreBoard(const MultiCoreBoard&) = delete;
+  MultiCoreBoard& operator=(const MultiCoreBoard&) = delete;
+
+  [[nodiscard]] u32 cores() const { return static_cast<u32>(runners_.size()); }
+  [[nodiscard]] IssRunner& core(u32 i) { return *runners_[i]; }
+  [[nodiscard]] mem::MemorySystem& memory() { return *memory_; }
+
+  /// True once every core's firmware has halted. Safe from any host thread.
+  [[nodiscard]] bool all_exited() const {
+    for (const auto& r : runners_) {
+      if (!r->exited()) return false;
+    }
+    return true;
+  }
+
+  /// Wakes every core blocked in the wfi syscall — wire to
+  /// Board::attach_device_dsr for a broadcast device interrupt.
+  void post_irq_all() {
+    for (const auto& r : runners_) r->post_irq();
+  }
+
+ private:
+  std::vector<std::unique_ptr<IssRunner>> runners_;
+  mem::MemorySystem* memory_;
+};
+
+}  // namespace vhp::iss

@@ -12,6 +12,8 @@
 //   1: wfi                 — block until the device interrupt (DSR posts)
 //   2: a0 = board tick     — read the SW tick counter
 //   3: yield               — give up the CPU voluntarily
+//   4: a0 = core id        — which virtual core runs this firmware (0 on a
+//                            single-core board; SPMD firmware branches on it)
 #pragma once
 
 #include <atomic>
@@ -19,6 +21,8 @@
 #include "vhp/board/board.hpp"
 #include "vhp/iss/bus.hpp"
 #include "vhp/iss/cpu.hpp"
+#include "vhp/iss/timed_bus.hpp"
+#include "vhp/mem/system.hpp"
 #include "vhp/rtos/sync.hpp"
 
 namespace vhp::iss {
@@ -38,6 +42,8 @@ struct IssRunnerConfig {
   /// Instructions batched per consume() charge (throughput/fidelity knob:
   /// preemption points happen at batch ends).
   u64 batch_cycles = 64;
+  /// Board-thread name ("firmware/2" on a many-core board).
+  std::string thread_name = "firmware";
 };
 
 class IssRunner {
@@ -60,16 +66,35 @@ class IssRunner {
   /// the wfi syscall.
   void post_irq() { irq_sem_.post(); }
 
+  /// Attaches a memory-hierarchy port (DESIGN.md §13): instruction cost
+  /// switches from the flat StepResult cycles to the pipelined model —
+  /// I-cache fetch latency, D-cache load/store latency, bank contention.
+  /// Call before the board runs; MMIO accesses keep their flat bridge cost
+  /// (they never traverse the cache hierarchy). Also pins the firmware
+  /// thread to the port's core.
+  void attach_memory(mem::CorePort& port);
+
+  /// The firmware's board thread (for affinity/priority adjustments).
+  [[nodiscard]] rtos::Thread& thread() { return *thread_; }
+
  private:
   void run_loop();
   /// Returns true to keep running.
   bool handle_ecall();
 
+  [[nodiscard]] bool is_mmio(u32 addr) const {
+    return addr >= config_.mmio_base &&
+           addr - config_.mmio_base < config_.mmio_size;
+  }
+
   board::Board& board_;
   IssRunnerConfig config_;
   Logger log_{"iss"};
   MemoryBus bus_;
+  TimedBus timed_bus_{bus_};
   Cpu cpu_;
+  mem::CorePort* mem_port_ = nullptr;
+  rtos::Thread* thread_ = nullptr;
   rtos::Semaphore irq_sem_;
   std::atomic<bool> exited_{false};
   u32 exit_code_ = 0;

@@ -1,0 +1,59 @@
+// Access-recording bus decorator for the memory-hierarchy timing model.
+//
+// The Cpu performs at most two memory transactions per step: the fetch
+// (always the first load of the step) and one data load or store. TimedBus
+// forwards everything to the inner bus unchanged — it is purely functional
+// pass-through — while recording which addresses the current instruction
+// touched, so the runner can charge the pipeline/cache/bank timing model
+// (vhp/mem) after the step retires. Without a memory hierarchy attached the
+// record is simply ignored; the decorator costs two branches per access.
+#pragma once
+
+#include "vhp/iss/bus.hpp"
+
+namespace vhp::iss {
+
+class TimedBus final : public Bus {
+ public:
+  /// Memory transactions of one instruction, in issue order.
+  struct Accesses {
+    bool has_fetch = false;
+    u32 fetch_addr = 0;
+    bool has_data = false;
+    u32 data_addr = 0;
+    bool data_is_store = false;
+  };
+
+  explicit TimedBus(Bus& inner) : inner_(inner) {}
+
+  /// Call before each Cpu::step(); the first load after this is the fetch.
+  void begin_instruction() { acc_ = Accesses{}; }
+  [[nodiscard]] const Accesses& accesses() const { return acc_; }
+
+  u32 load(u32 addr, unsigned bytes) override {
+    if (!acc_.has_fetch) {
+      acc_.has_fetch = true;
+      acc_.fetch_addr = addr;
+    } else if (!acc_.has_data) {
+      acc_.has_data = true;
+      acc_.data_addr = addr;
+      acc_.data_is_store = false;
+    }
+    return inner_.load(addr, bytes);
+  }
+
+  void store(u32 addr, u32 value, unsigned bytes) override {
+    if (!acc_.has_data) {
+      acc_.has_data = true;
+      acc_.data_addr = addr;
+      acc_.data_is_store = true;
+    }
+    inner_.store(addr, value, bytes);
+  }
+
+ private:
+  Bus& inner_;
+  Accesses acc_;
+};
+
+}  // namespace vhp::iss

@@ -1,0 +1,63 @@
+// Shared banked memory timing model with per-bank request occupancy.
+//
+// Each bank tracks the virtual cycle until which it is busy; a request
+// arriving earlier queues behind it (the per-bank request queue collapses
+// to a busy-until stamp because requests are serviced in arrival order and
+// the model only needs completion times, not queue contents). Contention is
+// therefore visible as `wait_cycles` — exactly the stall the pipelined core
+// charges — and counted per bank for the conflict histograms.
+#pragma once
+
+#include <vector>
+
+#include "vhp/common/types.hpp"
+#include "vhp/mem/config.hpp"
+
+namespace vhp::mem {
+
+/// Timing verdict of one bank request.
+struct BankAccess {
+  u32 bank = 0;
+  /// Cycles spent queued behind earlier requests to the same bank.
+  u64 wait_cycles = 0;
+  /// Virtual cycle at which the data is back at the requester's edge of the
+  /// interconnect (excludes the return hop).
+  u64 complete_at = 0;
+};
+
+class BankedMemory {
+ public:
+  /// `config` must have passed BankedMemoryConfig::validate().
+  explicit BankedMemory(BankedMemoryConfig config);
+
+  /// Issues a request for `addr` at virtual cycle `now`; advances the
+  /// bank's busy window and returns the timing verdict.
+  BankAccess request(u64 addr, u64 now);
+
+  [[nodiscard]] u32 bank_of(u64 addr) const {
+    return static_cast<u32>((addr >> stride_shift_) % config_.banks);
+  }
+
+  [[nodiscard]] const BankedMemoryConfig& config() const { return config_; }
+  [[nodiscard]] u64 requests() const { return requests_; }
+  [[nodiscard]] u64 conflicts() const { return conflicts_; }
+  [[nodiscard]] u64 conflict_wait_cycles() const { return conflict_wait_; }
+  [[nodiscard]] u64 bank_requests(u32 bank) const {
+    return per_bank_requests_[bank];
+  }
+  [[nodiscard]] u64 bank_conflicts(u32 bank) const {
+    return per_bank_conflicts_[bank];
+  }
+
+ private:
+  BankedMemoryConfig config_;
+  u32 stride_shift_;
+  std::vector<u64> busy_until_;
+  std::vector<u64> per_bank_requests_;
+  std::vector<u64> per_bank_conflicts_;
+  u64 requests_ = 0;
+  u64 conflicts_ = 0;
+  u64 conflict_wait_ = 0;
+};
+
+}  // namespace vhp::mem

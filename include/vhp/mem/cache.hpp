@@ -1,0 +1,59 @@
+// Set-associative L1 cache timing model (tag array only).
+//
+// Data always lives in the board's sim::Memory — functional reads/writes
+// are unchanged; this class answers the *timing* question "how many cycles
+// does this access cost at virtual time `now`?". Write-allocate,
+// write-back-less (stores hit or allocate like loads; there is no dirty
+// writeback traffic in the model — a deliberate cycle-approximate cut, the
+// same one mgsim's simple cache takes for its L1s).
+#pragma once
+
+#include <vector>
+
+#include "vhp/common/types.hpp"
+#include "vhp/mem/config.hpp"
+
+namespace vhp::mem {
+
+/// Timing verdict of one cache lookup.
+struct CacheAccess {
+  bool hit = false;
+  /// Line-aligned address to fetch downstream on a miss.
+  u64 fill_addr = 0;
+};
+
+class Cache {
+ public:
+  /// `config` must have passed CacheConfig::validate().
+  explicit Cache(CacheConfig config);
+
+  /// Looks up `addr`; on a miss the line is allocated (LRU victim evicted)
+  /// and the caller is responsible for charging the downstream fill.
+  CacheAccess access(u64 addr);
+
+  /// Drops every line (e.g. between benchmark repetitions).
+  void invalidate_all();
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] u64 hits() const { return hits_; }
+  [[nodiscard]] u64 misses() const { return misses_; }
+  [[nodiscard]] u64 evictions() const { return evictions_; }
+
+ private:
+  struct Way {
+    u64 tag = 0;
+    u64 lru = 0;  // higher = more recently used
+    bool valid = false;
+  };
+
+  CacheConfig config_;
+  u32 line_shift_;
+  u32 set_mask_;
+  std::vector<Way> ways_;  // sets * ways, row-major by set
+  u64 use_clock_ = 0;      // LRU stamp source (per-access, deterministic)
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 evictions_ = 0;
+};
+
+}  // namespace vhp::mem

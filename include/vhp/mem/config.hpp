@@ -1,0 +1,70 @@
+// Configuration of the timing-accurate memory hierarchy (DESIGN.md §13).
+//
+// The legacy virtual board is a flat cycle-budget executor: every retired
+// instruction costs its StepResult cycles and nothing else. The `vhp::mem`
+// tier replaces that with a cycle-approximate model in the mgsim tradition:
+// per-core L1 I/D caches, a shared banked memory with per-bank occupancy,
+// and a fixed-latency interconnect between them. All knobs live here so a
+// whole hierarchy is one aggregate literal — and so session validation can
+// reject contradictory configurations before any thread boots.
+#pragma once
+
+#include "vhp/common/status.hpp"
+#include "vhp/common/types.hpp"
+
+namespace vhp::mem {
+
+struct CacheConfig {
+  /// Cache line size in bytes; must be a power of two >= 4.
+  u32 line_bytes = 32;
+  /// Associativity (ways per set); must be >= 1.
+  u32 ways = 2;
+  /// Number of sets; must be a power of two >= 1.
+  u32 sets = 64;
+  /// Cycles charged on a hit (the L1 pipeline-visible latency).
+  u64 hit_cycles = 1;
+  /// Extra cycles charged on a miss before the downstream access (tag
+  /// compare + miss handling), on top of interconnect + bank time.
+  u64 miss_penalty_cycles = 2;
+
+  [[nodiscard]] u64 capacity_bytes() const {
+    return static_cast<u64>(line_bytes) * ways * sets;
+  }
+  /// `what` names the cache in the error message ("icache"/"dcache").
+  [[nodiscard]] Status validate(const char* what) const;
+};
+
+struct BankedMemoryConfig {
+  /// Number of independent banks; must be > 0.
+  u32 banks = 4;
+  /// Bank interleave granularity in bytes; must be a power of two >= 4.
+  /// Line-sized interleave (the default) spreads consecutive cache lines
+  /// over consecutive banks.
+  u32 stride_bytes = 32;
+  /// Cycles from request acceptance to data return.
+  u64 access_cycles = 6;
+  /// Cycles a bank stays busy per request (occupancy; back-to-back requests
+  /// to the same bank serialize on this).
+  u64 busy_cycles = 4;
+
+  [[nodiscard]] Status validate() const;
+};
+
+struct InterconnectConfig {
+  /// Cycles per traversal (core->bank and bank->core each pay this).
+  u64 hop_cycles = 2;
+};
+
+/// One aggregate describing the whole hierarchy of a many-core board.
+struct MemConfig {
+  CacheConfig icache{};
+  CacheConfig dcache{};
+  BankedMemoryConfig memory{};
+  InterconnectConfig interconnect{};
+
+  /// Checks every sub-config (power-of-two line sizes and strides, nonzero
+  /// ways/sets/banks). Returned messages name the offending knob precisely.
+  [[nodiscard]] Status validate() const;
+};
+
+}  // namespace vhp::mem

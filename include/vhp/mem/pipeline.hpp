@@ -1,0 +1,52 @@
+// In-order pipeline timing model for an ISS core (fetch/decode/execute).
+//
+// Cycle-approximate contract: with an ideal memory system (1-cycle I-hit,
+// 1-cycle D-hit) the pipelined cost of an instruction equals its flat
+// StepResult cost — fetch and a hitting data access overlap the pipeline
+// completely. Everything slower shows up as stall cycles:
+//
+//   cost = exec + (fetch_lat - 1) + (data_lat > 0 ? data_lat - 1 : 0)
+//
+// so an I-miss stalls the front end for the miss path minus the hidden hit
+// cycle, and a D-miss (or bank conflict) stalls execute likewise. This is
+// the property that keeps the single-core default bit-compatible with the
+// legacy flat board: no memory hierarchy configured means fetch_lat =
+// data_lat = "free", and the model charges exactly StepResult::cycles.
+#pragma once
+
+#include "vhp/common/types.hpp"
+
+namespace vhp::mem {
+
+/// Per-core pipeline stall accounting.
+struct PipelineStats {
+  u64 instructions = 0;
+  u64 total_cycles = 0;
+  u64 fetch_stall_cycles = 0;  // I-cache miss path beyond the hidden cycle
+  u64 data_stall_cycles = 0;   // D-path beyond the hidden hit cycle
+};
+
+class PipelineModel {
+ public:
+  /// Timing of one retired instruction: `exec_cycles` is the flat cost from
+  /// the ISS (StepResult::cycles), `fetch_cycles` the I-path latency and
+  /// `data_cycles` the D-path latency (0 when the instruction touches no
+  /// memory). Returns the modeled cost in CPU cycles.
+  u64 instruction(u64 exec_cycles, u64 fetch_cycles, u64 data_cycles) {
+    const u64 fetch_stall = fetch_cycles > 0 ? fetch_cycles - 1 : 0;
+    const u64 data_stall = data_cycles > 0 ? data_cycles - 1 : 0;
+    const u64 cost = exec_cycles + fetch_stall + data_stall;
+    ++stats_.instructions;
+    stats_.total_cycles += cost;
+    stats_.fetch_stall_cycles += fetch_stall;
+    stats_.data_stall_cycles += data_stall;
+    return cost;
+  }
+
+  [[nodiscard]] const PipelineStats& stats() const { return stats_; }
+
+ private:
+  PipelineStats stats_;
+};
+
+}  // namespace vhp::mem

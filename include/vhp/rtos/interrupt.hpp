@@ -32,9 +32,17 @@ class InterruptController {
  public:
   explicit InterruptController(Kernel& kernel) : kernel_(kernel) {}
 
-  /// Attaches a handler to a vector (replaces any previous one).
-  void attach(u32 vector, InterruptHandler handler);
+  /// Attaches a handler to a vector (replaces any previous one). `core`
+  /// routes the vector's DSR to that virtual core on an SMP kernel
+  /// (DESIGN.md §13): the DSR runs just before that core's next dispatch,
+  /// so it preempts only that core's thread. Single-core kernels ignore it.
+  void attach(u32 vector, InterruptHandler handler, u32 core = 0);
   void detach(u32 vector);
+
+  /// Re-routes an attached vector's DSR to `core` (keeps the handler).
+  void route(u32 vector, u32 core);
+  /// Target core of a vector (0 when unattached).
+  [[nodiscard]] u32 core_of(u32 vector) const;
 
   /// Masked vectors are recorded and delivered on unmask.
   void mask(u32 vector);
@@ -47,19 +55,31 @@ class InterruptController {
   /// Drains queued DSRs; called by the kernel at safe points.
   void run_pending_dsrs();
 
+  /// SMP variant: drains only DSRs routed to `core`, in queue order; called
+  /// by the kernel just before dispatching that core.
+  void run_pending_dsrs_for_core(u32 core);
+
   [[nodiscard]] u64 spurious_count() const { return spurious_; }
   [[nodiscard]] bool dsr_pending() const { return !dsr_queue_.empty(); }
 
  private:
   struct Entry {
     InterruptHandler handler;
+    u32 core = 0;  // DSR routing target (SMP)
     bool masked = false;
     u32 pending_while_masked = 0;
   };
 
+  struct PendingDsr {
+    u32 vector;
+    u32 core;
+  };
+
+  void run_dsr(u32 vector);
+
   Kernel& kernel_;
   std::unordered_map<u32, Entry> handlers_;
-  std::deque<u32> dsr_queue_;
+  std::deque<PendingDsr> dsr_queue_;
   u64 spurious_ = 0;
 };
 

@@ -47,6 +47,13 @@ struct KernelConfig {
   /// When true, consumable cycles must be granted (co-simulation mode).
   /// When false the kernel free-runs as fast as the host executes.
   bool budget_mode = false;
+  /// Virtual cores (SMP, DESIGN.md §13). 1 (default) is the legacy
+  /// single-core kernel, bit-exact with every existing recording. M > 1
+  /// gives each core its own run queue view (per-core dispatch with thread
+  /// affinity), its own cycle counter and its own slice of every budget
+  /// grant; the timer interrupt (RTC, timeslices) stays on core 0, the
+  /// boot core — as on real SMP hardware with one global timer.
+  u32 cores = 1;
   /// Real-time pacing (standalone mode only, ignored under budget_mode):
   /// when nonzero, idle-driven ticks are paced to this wall-clock period —
   /// the virtual board then behaves like the real one, whose HW timer
@@ -70,6 +77,9 @@ class Kernel {
                 std::size_t stack_bytes = Fiber::kDefaultStackBytes);
 
   [[nodiscard]] Thread* current() const { return current_; }
+  /// Virtual core the current (or most recently dispatched) thread runs on.
+  [[nodiscard]] u32 current_core() const { return current_core_; }
+  [[nodiscard]] u32 cores() const { return config_.cores; }
 
   /// Blocks the calling thread until `thread` exits (no-op if it already
   /// has). eCos exposes the same through cyg_thread_join-style helpers.
@@ -102,6 +112,10 @@ class Kernel {
 
   [[nodiscard]] SwTicks tick_count() const { return tick_count_; }
   [[nodiscard]] u64 cycle_count() const { return cycle_count_; }
+  /// Per-core consumed cycles (core 0 == cycle_count()).
+  [[nodiscard]] u64 core_cycle_count(u32 core) const {
+    return core == 0 ? cycle_count_ : extra_cycles_[core - 1];
+  }
   [[nodiscard]] u64 cycles_per_tick() const { return config_.cycles_per_tick; }
   [[nodiscard]] Counter& real_time_clock() { return rtc_; }
 
@@ -110,9 +124,15 @@ class Kernel {
   [[nodiscard]] OsState state() const { return state_; }
   [[nodiscard]] bool budget_mode() const { return config_.budget_mode; }
   [[nodiscard]] u64 budget_cycles() const { return budget_cycles_; }
+  /// Per-core remaining budget (core 0 == budget_cycles()).
+  [[nodiscard]] u64 core_budget_cycles(u32 core) const {
+    return core == 0 ? budget_cycles_ : extra_budget_[core - 1];
+  }
 
-  /// Grants `cycles` of execution budget and thaws the OS into the normal
-  /// state. Called by the board's systemc thread on CLOCK_TICK reception.
+  /// Grants `cycles` of execution budget *per core* and thaws the OS into
+  /// the normal state: every core advances through the same grant wall in
+  /// lockstep virtual time. Called by the board's systemc thread on
+  /// CLOCK_TICK reception.
   void grant_cycles(u64 cycles);
 
   /// Lookahead (adaptive synchronization, DESIGN.md §10): CPU cycles until
@@ -126,6 +146,11 @@ class Kernel {
   /// it never *under*states how soon the board may act, and events injected
   /// by the master itself (interrupts, DATA responses) don't count: the
   /// master knows when it sends those.
+  ///
+  /// SMP: the result is the minimum over cores by construction — a runnable
+  /// or budget-starved thread on *any* core yields 0, and alarms live on
+  /// the shared core-0 RTC (at a freeze every core has drained the same
+  /// grants, so core-0 distance is the board-wide distance).
   [[nodiscard]] std::optional<u64> next_event_cycles() const;
 
   /// Invoked (once per freeze) when the budget is exhausted and the OS
@@ -189,13 +214,30 @@ class Kernel {
   /// thread's timeslice, rotates on expiry.
   void timer_tick();
 
-  /// Budget-exhaustion transition to the idle state.
+  /// Budget-exhaustion transition to the idle state. SMP: freezes (and
+  /// fires the TIME_ACK callback) only once EVERY core's budget is drained.
   void enter_idle_state();
+  [[nodiscard]] bool all_cores_exhausted() const;
 
-  /// Idle thread body.
-  void idle_loop();
+  /// Idle thread body (one instance per core; `core` is the pinned core).
+  void idle_loop(u32 core);
+
+  /// Per-core budget slot (core 0 aliases the legacy member, keeping the
+  /// single-core hot path untouched).
+  [[nodiscard]] u64& core_budget(u32 core) {
+    return core == 0 ? budget_cycles_ : extra_budget_[core - 1];
+  }
+  [[nodiscard]] u64& core_cycles(u32 core) {
+    return core == 0 ? cycle_count_ : extra_cycles_[core - 1];
+  }
 
   [[nodiscard]] bool quiescent() const;
+  [[nodiscard]] bool is_idle_thread(const Thread* t) const {
+    for (const Thread* idle : idle_threads_) {
+      if (t == idle) return true;
+    }
+    return false;
+  }
 
   KernelConfig config_;
   Logger log_{"rtos"};
@@ -204,10 +246,18 @@ class Kernel {
   std::vector<std::unique_ptr<Thread>> threads_;
   Thread* current_ = nullptr;
   Thread* idle_thread_ = nullptr;
+  /// Per-core idle threads; [0] == idle_thread_.
+  std::vector<Thread*> idle_threads_;
 
   Counter rtc_{"rtc"};
   SwTicks tick_count_{};
   u64 cycle_count_ = 0;
+  /// Cores 1..M-1 (empty on a single-core kernel).
+  std::vector<u64> extra_cycles_;
+  std::vector<u64> extra_budget_;
+  u32 current_core_ = 0;
+  /// Round-robin start index of the SMP dispatch sweep.
+  u32 dispatch_rr_ = 0;
 
   OsState state_ = OsState::kNormal;
   u64 budget_cycles_ = 0;

@@ -22,6 +22,12 @@ class Scheduler {
   /// threads are eligible (paper Section 5.3). nullptr when none.
   [[nodiscard]] Thread* pick(bool idle_state) const;
 
+  /// SMP variant: highest-priority ready thread eligible on `core`
+  /// (affinity kAnyCore or == core), honoring `idle_state` the same way.
+  /// pick_for_core(0, s) == pick(s) when every thread has wildcard
+  /// affinity — the single-core kernel keeps using pick().
+  [[nodiscard]] Thread* pick_for_core(u32 core, bool idle_state) const;
+
   /// Moves the head of `priority`'s queue to the tail (timeslice expiry).
   void rotate(int priority);
 

@@ -27,6 +27,8 @@ class Thread {
 
   static constexpr int kPriorities = 32;  // 0 (highest) .. 31 (lowest)
   static constexpr int kIdlePriority = kPriorities - 1;
+  /// Affinity wildcard: the thread may run on any core (SMP kernels).
+  static constexpr int kAnyCore = -1;
 
   using Entry = std::function<void()>;
 
@@ -49,6 +51,15 @@ class Thread {
   void set_comm_thread(bool comm) { comm_thread_ = comm; }
   [[nodiscard]] bool is_comm_thread() const { return comm_thread_; }
 
+  /// Core affinity (SMP kernels, DESIGN.md §13): pins the thread to one
+  /// virtual core, or kAnyCore (default) to run wherever a core is free.
+  /// Checked at dispatch, so it may be changed at any time.
+  void set_affinity(int core) { affinity_ = core; }
+  [[nodiscard]] int affinity() const { return affinity_; }
+  [[nodiscard]] bool runs_on(u32 core) const {
+    return affinity_ == kAnyCore || affinity_ == static_cast<int>(core);
+  }
+
  private:
   friend class Kernel;
   friend class Scheduler;
@@ -66,6 +77,7 @@ class Thread {
   Fiber fiber_;
   State state_ = State::kNew;
   bool comm_thread_ = false;
+  int affinity_ = kAnyCore;
   /// Remaining ticks of the current timeslice. Preserved across the OS
   /// normal->idle->normal freeze cycle (the paper's "saves the context, in
   /// particular the value of the timeslice").

@@ -85,4 +85,18 @@ echo "==== [kernel-par] bench gate ===="
 cmake --build --preset default -j "$jobs" --target kernel_parallel
 ./build/bench/kernel_parallel --gate --quick --json /tmp/kernel_parallel_gate.metrics.json
 
+# Memory-hierarchy / many-core gate (ISSUE 9), same shape: the fiber-free
+# cache/bank/pipeline units plus the SMP kernel and 4-core session suites
+# on the release build (-L mem matches "mem" and "mem-tsan"), the
+# fiber-free half again under ThreadSanitizer, and the mem_contention
+# bench in --gate mode, which fails if the disarmed single-core board
+# costs more than 1% wall time over the pre-hierarchy flat loop.
+echo "==== [mem] release gate ===="
+ctest --preset default -L mem "$@"
+echo "==== [mem] tsan gate ===="
+ctest --preset tsan -L mem-tsan "$@"
+echo "==== [mem] bench gate ===="
+cmake --build --preset default -j "$jobs" --target mem_contention
+./build/bench/mem_contention --gate --quick --json /tmp/mem_contention_gate.metrics.json
+
 echo "All presets passed."

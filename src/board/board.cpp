@@ -50,6 +50,10 @@ Board::Board(BoardConfig config, net::CosimLink link, obs::Hub* hub)
       spans_(hub_->timeline().sink(config.name.empty() ? "board"
                                                        : config.name)),
       kernel_(apply_mode(config.rtos, config.free_running)) {
+  if (config_.memory.has_value()) {
+    memsys_ = std::make_unique<mem::MemorySystem>(*config_.memory,
+                                                  config_.rtos.cores, hub_);
+  }
   data_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.data, "data");
   int_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.intr, "int");
   clock_rx_ = std::make_unique<ChannelWaiter>(kernel_, *link_.clock, "clock");

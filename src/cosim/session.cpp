@@ -70,6 +70,18 @@ Status SessionConfig::validate() const {
     return Status{StatusCode::kInvalidArgument,
                   "SessionConfig: board.cycles_per_sim_cycle must be > 0"};
   }
+  if (board.rtos.cores == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SessionConfig: board.rtos.cores must be >= 1"};
+  }
+  if (board.rtos.cores > 1 && !board.memory.has_value()) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SessionConfig: cores(M > 1) requires a memory hierarchy "
+                  "(pair with SessionConfigBuilder::memory)"};
+  }
+  if (board.memory.has_value()) {
+    if (s = board.memory->validate(); !s.ok()) return s;
+  }
   if (s = fault_plan.validate(); !s.ok()) return s;
   if (fault_plan.armed() && !fault_plan.lossless() && !recovery.enabled) {
     return Status{StatusCode::kInvalidArgument,

@@ -1,0 +1,28 @@
+#include "vhp/iss/multicore.hpp"
+
+#include <cassert>
+
+#include "vhp/common/format.hpp"
+
+namespace vhp::iss {
+
+MultiCoreBoard::MultiCoreBoard(board::Board& board, sim::Memory& ram,
+                               MultiCoreBoardConfig config)
+    : memory_(board.memory_system()) {
+  assert(memory_ != nullptr &&
+         "MultiCoreBoard needs a board with BoardConfig::memory set");
+  assert(!config.entry_pcs.empty());
+  assert(memory_->cores() >= config.entry_pcs.size() &&
+         "more entry points than memory-system ports (rtos.cores)");
+  runners_.reserve(config.entry_pcs.size());
+  for (u32 c = 0; c < config.entry_pcs.size(); ++c) {
+    IssRunnerConfig rc = config.runner;
+    rc.entry_pc = config.entry_pcs[c];
+    rc.stack_top = config.runner.stack_top - c * config.stack_stride;
+    rc.thread_name = strformat("firmware/{}", c);
+    runners_.push_back(std::make_unique<IssRunner>(board, ram, rc));
+    runners_.back()->attach_memory(memory_->port(c));
+  }
+}
+
+}  // namespace vhp::iss

@@ -4,7 +4,7 @@ namespace vhp::iss {
 
 IssRunner::IssRunner(board::Board& board, sim::Memory& ram,
                      IssRunnerConfig config)
-    : board_(board), config_(config), bus_(ram), cpu_(bus_),
+    : board_(board), config_(config), bus_(ram), cpu_(timed_bus_),
       irq_sem_(board.kernel(), 0) {
   bus_.map_mmio(
       config_.mmio_base, config_.mmio_size,
@@ -29,7 +29,13 @@ IssRunner::IssRunner(board::Board& board, sim::Memory& ram,
 
   cpu_.set_pc(config_.entry_pc);
   cpu_.set_reg(Cpu::kRegSp, config_.stack_top);
-  board_.spawn_app("firmware", config_.priority, [this] { run_loop(); });
+  thread_ = &board_.spawn_app(config_.thread_name, config_.priority,
+                              [this] { run_loop(); });
+}
+
+void IssRunner::attach_memory(mem::CorePort& port) {
+  mem_port_ = &port;
+  thread_->set_affinity(static_cast<int>(port.core()));
 }
 
 bool IssRunner::handle_ecall() {
@@ -48,6 +54,11 @@ bool IssRunner::handle_ecall() {
     case 3:  // yield
       board_.kernel().yield();
       return true;
+    case 4:  // core id
+      cpu_.set_reg(Cpu::kRegA0,
+                   mem_port_ != nullptr ? mem_port_->core()
+                                        : board_.kernel().current_core());
+      return true;
     default:
       log_.warn("firmware: unknown syscall {} at pc={}", num, cpu_.pc());
       return true;
@@ -63,8 +74,29 @@ void IssRunner::run_loop() {
     }
   };
   while (cpu_.instructions_retired() < config_.max_instructions) {
+    // Disarmed boards skip the per-step access reset: the record saturates
+    // after the first instruction and the decorator costs two predictable
+    // branches per transaction (the mem_contention --gate budget).
+    if (mem_port_ != nullptr) timed_bus_.begin_instruction();
     const StepResult r = cpu_.step();
-    pending_cycles += r.cycles;
+    u64 cost = r.cycles;
+    if (mem_port_ != nullptr) {
+      // Pipelined timing: the fetch traverses the I-cache, a data access
+      // the D-cache (misses queue on the shared banks); MMIO keeps its
+      // flat bridge cost — device registers are uncached by definition.
+      const auto& acc = timed_bus_.accesses();
+      const u64 now =
+          board_.kernel().core_cycle_count(mem_port_->core()) + pending_cycles;
+      const u64 fetch_lat =
+          acc.has_fetch ? mem_port_->fetch(acc.fetch_addr, now) : 0;
+      u64 data_lat = 0;
+      if (acc.has_data && !is_mmio(acc.data_addr)) {
+        data_lat = mem_port_->data_access(acc.data_addr, acc.data_is_store,
+                                          now + fetch_lat);
+      }
+      cost = mem_port_->pipeline().instruction(r.cycles, fetch_lat, data_lat);
+    }
+    pending_cycles += cost;
     if (r.trap == TrapKind::kNone) {
       if (pending_cycles >= config_.batch_cycles) charge();
       continue;

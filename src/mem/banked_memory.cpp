@@ -1,0 +1,37 @@
+#include "vhp/mem/banked_memory.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace vhp::mem {
+
+BankedMemory::BankedMemory(BankedMemoryConfig config)
+    : config_(config),
+      stride_shift_(static_cast<u32>(std::countr_zero(config.stride_bytes))),
+      busy_until_(config.banks, 0),
+      per_bank_requests_(config.banks, 0),
+      per_bank_conflicts_(config.banks, 0) {
+  assert(config.validate().ok());
+}
+
+BankAccess BankedMemory::request(u64 addr, u64 now) {
+  const u32 bank = bank_of(addr);
+  ++requests_;
+  ++per_bank_requests_[bank];
+
+  BankAccess access;
+  access.bank = bank;
+  const u64 start = std::max(now, busy_until_[bank]);
+  access.wait_cycles = start - now;
+  if (access.wait_cycles > 0) {
+    ++conflicts_;
+    ++per_bank_conflicts_[bank];
+    conflict_wait_ += access.wait_cycles;
+  }
+  busy_until_[bank] = start + config_.busy_cycles;
+  access.complete_at = start + config_.access_cycles;
+  return access;
+}
+
+}  // namespace vhp::mem

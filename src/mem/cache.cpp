@@ -1,0 +1,51 @@
+#include "vhp/mem/cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace vhp::mem {
+
+Cache::Cache(CacheConfig config)
+    : config_(config),
+      line_shift_(static_cast<u32>(std::countr_zero(config.line_bytes))),
+      set_mask_(config.sets - 1),
+      ways_(static_cast<std::size_t>(config.sets) * config.ways) {
+  assert(config.validate("cache").ok());
+}
+
+CacheAccess Cache::access(u64 addr) {
+  const u64 line = addr >> line_shift_;
+  const u32 set = static_cast<u32>(line) & set_mask_;
+  const u64 tag = line >> std::countr_zero(config_.sets);
+  Way* base = &ways_[static_cast<std::size_t>(set) * config_.ways];
+  ++use_clock_;
+
+  Way* victim = base;
+  for (u32 w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = use_clock_;
+      ++hits_;
+      return CacheAccess{true, 0};
+    }
+    // Victim preference: first invalid way, else least recently used.
+    if (!way.valid) {
+      if (victim->valid) victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+
+  ++misses_;
+  if (victim->valid) ++evictions_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = use_clock_;
+  return CacheAccess{false, line << line_shift_};
+}
+
+void Cache::invalidate_all() {
+  for (Way& way : ways_) way = Way{};
+}
+
+}  // namespace vhp::mem

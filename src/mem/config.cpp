@@ -1,0 +1,64 @@
+#include "vhp/mem/config.hpp"
+
+#include <bit>
+
+#include "vhp/common/format.hpp"
+
+namespace vhp::mem {
+
+namespace {
+
+bool pow2(u32 v) { return v != 0 && std::has_single_bit(v); }
+
+}  // namespace
+
+Status CacheConfig::validate(const char* what) const {
+  if (line_bytes < 4 || !pow2(line_bytes)) {
+    return Status{StatusCode::kInvalidArgument,
+                  strformat("MemConfig: {}.line_bytes must be a power of two "
+                            ">= 4 (got {})",
+                            what, line_bytes)};
+  }
+  if (ways == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  strformat("MemConfig: {}.ways must be > 0", what)};
+  }
+  if (!pow2(sets)) {
+    return Status{StatusCode::kInvalidArgument,
+                  strformat("MemConfig: {}.sets must be a power of two "
+                            ">= 1 (got {})",
+                            what, sets)};
+  }
+  if (hit_cycles == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  strformat("MemConfig: {}.hit_cycles must be > 0", what)};
+  }
+  return Status::Ok();
+}
+
+Status BankedMemoryConfig::validate() const {
+  if (banks == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "MemConfig: memory.banks must be > 0"};
+  }
+  if (stride_bytes < 4 || !pow2(stride_bytes)) {
+    return Status{StatusCode::kInvalidArgument,
+                  strformat("MemConfig: memory.stride_bytes must be a power "
+                            "of two >= 4 (got {})",
+                            stride_bytes)};
+  }
+  if (access_cycles == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "MemConfig: memory.access_cycles must be > 0"};
+  }
+  return Status::Ok();
+}
+
+Status MemConfig::validate() const {
+  if (Status s = icache.validate("icache"); !s.ok()) return s;
+  if (Status s = dcache.validate("dcache"); !s.ok()) return s;
+  if (Status s = memory.validate(); !s.ok()) return s;
+  return Status::Ok();
+}
+
+}  // namespace vhp::mem

@@ -4,11 +4,22 @@
 
 namespace vhp::rtos {
 
-void InterruptController::attach(u32 vector, InterruptHandler handler) {
-  handlers_[vector] = Entry{std::move(handler), /*masked=*/false, 0};
+void InterruptController::attach(u32 vector, InterruptHandler handler,
+                                 u32 core) {
+  handlers_[vector] = Entry{std::move(handler), core, /*masked=*/false, 0};
 }
 
 void InterruptController::detach(u32 vector) { handlers_.erase(vector); }
+
+void InterruptController::route(u32 vector, u32 core) {
+  auto it = handlers_.find(vector);
+  if (it != handlers_.end()) it->second.core = core;
+}
+
+u32 InterruptController::core_of(u32 vector) const {
+  auto it = handlers_.find(vector);
+  return it == handlers_.end() ? 0 : it->second.core;
+}
 
 void InterruptController::mask(u32 vector) {
   auto it = handlers_.find(vector);
@@ -39,17 +50,38 @@ void InterruptController::raise(u32 vector) {
       it->second.handler.isr ? it->second.handler.isr(vector)
                              : IsrResult::kCallDsr;
   if (result == IsrResult::kCallDsr && it->second.handler.dsr) {
-    dsr_queue_.push_back(vector);
+    dsr_queue_.push_back(PendingDsr{vector, it->second.core});
+  }
+}
+
+void InterruptController::run_dsr(u32 vector) {
+  auto it = handlers_.find(vector);
+  if (it != handlers_.end() && it->second.handler.dsr) {
+    it->second.handler.dsr(vector);
   }
 }
 
 void InterruptController::run_pending_dsrs() {
   while (!dsr_queue_.empty()) {
-    const u32 vector = dsr_queue_.front();
+    const u32 vector = dsr_queue_.front().vector;
     dsr_queue_.pop_front();
-    auto it = handlers_.find(vector);
-    if (it != handlers_.end() && it->second.handler.dsr) {
-      it->second.handler.dsr(vector);
+    run_dsr(vector);
+  }
+}
+
+void InterruptController::run_pending_dsrs_for_core(u32 core) {
+  // Drain in queue order, skipping entries routed elsewhere. A DSR may
+  // raise further interrupts; only entries present at entry are considered
+  // (the classic snapshot-drain, so a self-raising DSR cannot livelock the
+  // dispatch loop).
+  std::size_t remaining = dsr_queue_.size();
+  while (remaining-- > 0 && !dsr_queue_.empty()) {
+    const PendingDsr pending = dsr_queue_.front();
+    dsr_queue_.pop_front();
+    if (pending.core == core) {
+      run_dsr(pending.vector);
+    } else {
+      dsr_queue_.push_back(pending);
     }
   }
 }

@@ -42,6 +42,20 @@ Thread* Scheduler::pick(bool idle_state) const {
   return nullptr;
 }
 
+Thread* Scheduler::pick_for_core(u32 core, bool idle_state) const {
+  u32 bits = bitmap_;
+  while (bits != 0) {
+    const auto p = static_cast<std::size_t>(std::countr_zero(bits));
+    for (Thread* t : ready_[p]) {
+      if (!t->runs_on(core)) continue;
+      if (idle_state && !t->is_comm_thread()) continue;
+      return t;
+    }
+    bits &= bits - 1;
+  }
+  return nullptr;
+}
+
 void Scheduler::rotate(int priority) {
   auto& q = ready_[static_cast<std::size_t>(priority)];
   if (q.size() < 2) return;

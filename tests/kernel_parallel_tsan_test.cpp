@@ -69,10 +69,16 @@ TEST(KernelParallelFuzzTsan, ParallelStatsReportTheRun) {
   EXPECT_GT(stats.parallel_deltas, 0u);
   EXPECT_GT(stats.repartitions, 0u);
   ASSERT_EQ(stats.lanes.size(), 2u);
+  // Which lane wins an island is a scheduling race (the worker can steal
+  // every island before lane 0 claims one), so only the totals are stable.
   u64 islands_run = 0;
-  for (const auto& lane : stats.lanes) islands_run += lane.islands_run;
+  u64 busy_ns = 0;
+  for (const auto& lane : stats.lanes) {
+    islands_run += lane.islands_run;
+    busy_ns += lane.busy_ns;
+  }
   EXPECT_GT(islands_run, 0u);
-  EXPECT_GT(stats.lanes[0].busy_ns, 0u);  // lane 0 always participates
+  EXPECT_GT(busy_ns, 0u);
 }
 
 // ---------------------------------------------------------------------------

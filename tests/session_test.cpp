@@ -224,6 +224,62 @@ TEST(SessionConfigValidation, RejectsZeroRtosDivisors) {
   EXPECT_FALSE(cfg.validate().ok());
 }
 
+TEST(SessionConfigValidation, RejectsMultiCoreWithoutMemoryHierarchy) {
+  SessionConfig cfg;
+  cfg.board.rtos.cores = 4;  // no board.memory
+  const Status s = cfg.validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("requires a memory hierarchy"),
+            std::string::npos)
+      << s;
+  EXPECT_THROW(CosimSession{cfg}, std::invalid_argument);
+  cfg.board.memory = mem::MemConfig{};
+  EXPECT_TRUE(cfg.validate().ok()) << cfg.validate();
+}
+
+TEST(SessionConfigValidation, RejectsZeroCores) {
+  SessionConfig cfg;
+  cfg.board.rtos.cores = 0;
+  const Status s = cfg.validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("cores must be >= 1"), std::string::npos) << s;
+}
+
+TEST(SessionConfigValidation, RejectsNonPowerOfTwoCacheLine) {
+  SessionConfig cfg;
+  cfg.board.memory = mem::MemConfig{};
+  cfg.board.memory->icache.line_bytes = 48;  // not a power of two
+  const Status s = cfg.validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("icache.line_bytes"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("48"), std::string::npos)
+      << "message should quote the offending value: " << s;
+}
+
+TEST(SessionConfigValidation, RejectsZeroBanks) {
+  SessionConfig cfg;
+  cfg.board.memory = mem::MemConfig{};
+  cfg.board.memory->memory.banks = 0;
+  const Status s = cfg.validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("memory.banks must be > 0"), std::string::npos)
+      << s;
+}
+
+TEST(SessionConfigValidation, BuilderCoresAndMemoryRoundTrip) {
+  auto result = SessionConfigBuilder{}.cores(2).memory(mem::MemConfig{}).build();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().board.rtos.cores, 2u);
+  ASSERT_TRUE(result.value().board.memory.has_value());
+  // The same builder chain without the hierarchy must fail with the precise
+  // cross-field message.
+  auto bad = SessionConfigBuilder{}.cores(2).build();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("requires a memory hierarchy"),
+            std::string::npos)
+      << bad.status();
+}
+
 TEST(SessionConfigValidation, DefaultAndUntimedConfigsAreValid) {
   SessionConfig cfg;
   EXPECT_TRUE(cfg.validate().ok()) << cfg.validate();

@@ -112,6 +112,27 @@ class Board {
   /// kernel().shutdown()). Call on the board's host thread.
   void run();
 
+  /// ----- cooperative hosting (svc::SessionHost / fabric event loop) -----
+
+  /// Spawns the comm threads without entering the run loop. Idempotent;
+  /// run() calls it too. All pump() calls must come from one thread (the
+  /// event loop) — fibers are not migratable.
+  void boot();
+
+  enum class PumpStatus {
+    kLive,  // starved: parked until new input arrives on the link
+    kDone,  // SHUTDOWN processed (or kernel shut down)
+  };
+
+  /// Runs the RTOS until it is starved (frozen with nothing pending on
+  /// any channel) or shut down. Non-blocking in host terms: no sleeping,
+  /// no pacing. Requires boot().
+  PumpStatus pump();
+
+  /// Readiness fds of the board side of the link (DATA/INT/CLOCK rx), for
+  /// event-loop registration; channels without one are omitted.
+  [[nodiscard]] std::vector<int> readable_fds();
+
   [[nodiscard]] obs::Hub& obs() { return *hub_; }
 
   /// Compatibility view over the metrics registry (the counters live under
@@ -131,7 +152,7 @@ class Board {
  private:
   void systemc_thread_body();
   void channel_thread_body();
-  void idle_poll();
+  bool idle_poll();
 
   BoardConfig config_;
   net::CosimLink link_;
@@ -176,6 +197,7 @@ class Board {
   u64 ack_tx_ns_ = 0;
 
   bool booted_ = false;
+  bool halt_logged_ = false;
 };
 
 /// Convenience: runs a Board on its own host thread; joins on destruction.

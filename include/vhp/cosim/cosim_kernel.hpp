@@ -103,6 +103,23 @@ class CosimKernel {
   /// Fails with kInvalidArgument if the config did not validate.
   Status run_cycles(u64 cycles);
 
+  /// Non-blocking variant for event-loop hosting (svc::SessionHost): runs
+  /// up to `max_cycles`, but instead of spinning for the TIME_ACK (or the
+  /// handshake) it returns with *blocked=true when the board owes a frame
+  /// that has not arrived. *ran reports cycles completed this call. The
+  /// protocol state (mid-sync vs running) persists across calls — resume
+  /// by calling pump() again once the link shows readiness. A session
+  /// uses either run_cycles() or pump(), not both.
+  Status pump(u64 max_cycles, u64* ran, bool* blocked);
+
+  /// True while a CLOCK_TICK is out and its TIME_ACK has not arrived
+  /// (pump() mode only — the blocking path never exposes this state).
+  [[nodiscard]] bool awaiting_ack() const { return awaiting_ack_; }
+
+  /// Readiness fds of the hw side of the link (DATA/INT/CLOCK rx), for
+  /// event-loop registration; channels without one are omitted.
+  [[nodiscard]] std::vector<int> readable_fds();
+
   /// Current cycle count (completed cycles).
   [[nodiscard]] u64 cycle() const { return cycle_; }
 
@@ -149,6 +166,11 @@ class CosimKernel {
   Status handle_data_msg(const net::Message& msg);
   /// Sends CLOCK_TICK and blocks for TIME_ACK, servicing DATA meanwhile.
   Status sync_with_board();
+  /// Flushes DATA/INT and emits the CLOCK_TICK (shared by the blocking
+  /// and pump() paths; spans bookkeeping lands in accept_ack).
+  Status send_tick();
+  /// Validates and applies a received TIME_ACK (grant policy, spans).
+  Status accept_ack(const net::Message& msg);
   Status sample_interrupts();
   /// Captures a TIME_ACK's lookahead (adaptive state + cosim.lookahead_acks).
   void note_ack(const net::TimeAck& ack);
@@ -185,6 +207,11 @@ class CosimKernel {
   u64 round_ = 0;  // wire-v3 round id of the latest CLOCK_TICK
   bool handshaken_ = false;
   bool finished_ = false;
+  /// pump() protocol state: a CLOCK_TICK is in flight, TIME_ACK pending.
+  bool awaiting_ack_ = false;
+  /// Span bookkeeping across the send_tick/accept_ack split.
+  u64 sync_span_start_ = 0;
+  u64 tick_sent_ns_ = 0;
   /// Per-lane busy_ns already folded into the sim.worker*.busy_ns
   /// histograms (the collector records deltas between metric dumps).
   std::vector<u64> lane_busy_collected_;

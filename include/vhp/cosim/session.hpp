@@ -12,17 +12,32 @@
 #include "vhp/cosim/cosim_kernel.hpp"
 #include "vhp/fault/plan.hpp"
 #include "vhp/fault/reliable.hpp"
+#include "vhp/net/batching.hpp"
 #include "vhp/net/latency.hpp"
 #include "vhp/obs/hub.hpp"
 
 namespace vhp::cosim {
 
-enum class TransportKind { kInProc, kTcp };
+enum class TransportKind {
+  kInProc,
+  kTcp,
+  /// Shared-memory SPSC rings (net/shm_ring.hpp): no syscall on the data
+  /// path, eventfd doorbells for readiness — the svc session server's
+  /// fast path (DESIGN.md §14).
+  kShm,
+};
 
 struct SessionConfig {
   CosimConfig cosim{};
   board::BoardConfig board{};
   TransportKind transport = TransportKind::kInProc;
+  /// Per-quantum frame batching (net/batching.hpp, DESIGN.md §14): DATA
+  /// and INT frames coalesce into one vectored send flushed at the
+  /// CLOCK boundary. Timed mode only; incompatible with recovery
+  /// (validate() enforces both). Recordings stay bit-identical — the
+  /// batcher sits below every decorator.
+  bool batch_frames = false;
+  net::BatchingConfig batching{};
   /// Optional emulated link latency on every channel (see net/latency.hpp).
   /// The paper's physical medium (Ethernet + eCos IP stack) is much slower
   /// than loopback; absolute-overhead experiments emulate that here.
@@ -76,6 +91,14 @@ class SessionConfigBuilder {
   }
   SessionConfigBuilder& tcp() { return transport(TransportKind::kTcp); }
   SessionConfigBuilder& inproc() { return transport(TransportKind::kInProc); }
+  SessionConfigBuilder& shm() { return transport(TransportKind::kShm); }
+
+  /// Per-quantum frame batching on DATA/INT (timed sessions only; see
+  /// SessionConfig::batch_frames).
+  SessionConfigBuilder& batching(bool on = true) {
+    config_.batch_frames = on;
+    return *this;
+  }
 
   SessionConfigBuilder& t_sync(u64 cycles) {
     config_.cosim.t_sync = cycles;

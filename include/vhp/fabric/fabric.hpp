@@ -38,14 +38,22 @@
 #include "vhp/fabric/sync_coordinator.hpp"
 #include "vhp/fault/plan.hpp"
 #include "vhp/fault/reliable.hpp"
+#include "vhp/net/batching.hpp"
 #include "vhp/net/channel.hpp"
 #include "vhp/obs/hub.hpp"
 #include "vhp/sim/kernel.hpp"
 #include "vhp/sim/signal.hpp"
+#include "vhp/svc/event_loop.hpp"
 
 namespace vhp::fabric {
 
-enum class Transport { kInProc, kTcp };
+enum class Transport {
+  kInProc,
+  kTcp,
+  /// Shared-memory SPSC rings (net/shm_ring.hpp): syscall-free data path
+  /// with eventfd doorbells (DESIGN.md §14).
+  kShm,
+};
 
 struct FabricNodeConfig {
   /// Node identity: log tag, metrics namespace ("<name>." prefix in the
@@ -93,6 +101,18 @@ struct FabricConfig {
   /// Link-level recovery (sequence numbers, ack/retransmit) on both sides
   /// of every link.
   fault::RecoveryConfig recovery{};
+  /// Per-quantum frame batching on every link's DATA/INT channels
+  /// (net/batching.hpp, DESIGN.md §14): frames coalesce into one vectored
+  /// send flushed at the barrier boundary. Incompatible with recovery
+  /// (validate() enforces it). Recordings stay bit-identical.
+  bool batch_frames = false;
+  net::BatchingConfig batching{};
+  /// Event-loop hosting (DESIGN.md §14): all non-external boards are
+  /// pumped cooperatively by ONE svc::EventLoop thread instead of one
+  /// parked BoardHost thread each — transport doorbells wake exactly the
+  /// board that has input. Virtual-time behavior is identical; only the
+  /// host-thread economics change.
+  bool event_loop = false;
   /// Send SHUTDOWN to every node on finish().
   bool shutdown_on_finish = true;
   /// Applied to the master hub and every node hub alike.
@@ -125,6 +145,18 @@ class FabricConfigBuilder {
   }
   FabricConfigBuilder& tcp() { return transport(Transport::kTcp); }
   FabricConfigBuilder& inproc() { return transport(Transport::kInProc); }
+  FabricConfigBuilder& shm() { return transport(Transport::kShm); }
+
+  /// Per-quantum frame batching on every link (FabricConfig::batch_frames).
+  FabricConfigBuilder& batching(bool on = true) {
+    config_.batch_frames = on;
+    return *this;
+  }
+  /// One event-loop thread pumps all boards (FabricConfig::event_loop).
+  FabricConfigBuilder& event_loop(bool on = true) {
+    config_.event_loop = on;
+    return *this;
+  }
 
   FabricConfigBuilder& t_sync(u64 cycles) {
     config_.t_sync = cycles;
@@ -333,7 +365,10 @@ class Fabric {
     std::optional<net::CosimLink> board_link;  // external, until taken
     std::unique_ptr<obs::Hub> hub;
     std::unique_ptr<cosim::DriverRegistry> registry;
-    std::unique_ptr<board::BoardHost> host;  // null for external nodes
+    std::unique_ptr<board::BoardHost> host;  // null: external or event-loop
+    /// Event-loop mode: the board owned directly (no host thread), pumped
+    /// on the fabric's svc::EventLoop thread.
+    std::unique_ptr<board::Board> loop_board;
     std::vector<IntWatch> watches;
     obs::Counter* data_writes = nullptr;
     obs::Counter* data_reads = nullptr;
@@ -343,6 +378,9 @@ class Fabric {
   /// Drains every node's DATA port once.
   Status service_data_ports();
   Status sample_interrupts();
+  /// Batching flush (no-op on unbatched links): every alive node's DATA
+  /// and INT frames cross before the barrier's CLOCK_TICKs.
+  Status flush_node_links();
   [[nodiscard]] Node& node_at(std::size_t node);
 
   FabricConfig config_;
@@ -355,6 +393,14 @@ class Fabric {
   sim::Kernel kernel_;
   sim::Clock clock_;
   std::unique_ptr<SyncCoordinator> coordinator_;
+
+  /// Event-loop mode (FabricConfig::event_loop): one loop thread pumps
+  /// every loop_board; created by start_boards(), joined by finish().
+  std::unique_ptr<svc::EventLoop> loop_;
+  /// Fallback pump tick: re-schedules itself (by copy) on the loop; owned
+  /// here so the pending timer's copy holds no reference cycle.
+  std::function<void()> loop_tick_;
+  std::thread loop_thread_;
 
   u64 cycle_ = 0;
   bool started_ = false;

@@ -130,6 +130,12 @@ class SyncCoordinator {
   /// Sends SHUTDOWN on every live node's CLOCK channel (best effort).
   void shutdown();
 
+  /// Extra fds whose readiness should wake a parked gather (the fabric
+  /// passes each node's DATA doorbell, so a mid-quantum device read is
+  /// serviced promptly even after the spin phase gave way to blocking).
+  /// Borrowed; the caller keeps them open while barriers run.
+  void set_wake_fds(std::vector<int> fds) { wake_fds_ = std::move(fds); }
+
   /// Eviction state (see SyncConfig::evict_after_misses).
   [[nodiscard]] bool alive(std::size_t node) const {
     return node < nodes_.size() && nodes_[node].alive;
@@ -219,6 +225,7 @@ class SyncCoordinator {
   obs::SpanSink& spans_;  // timeline ring "fabric" (coordinator-side spans)
 
   std::vector<Node> nodes_;
+  std::vector<int> wake_fds_;  // see set_wake_fds
   u64 round_ = 0;  // wire-v3 round id; monotone across rejoin
   bool handshaken_ = false;
 };

@@ -90,6 +90,11 @@ class ReliableChannel final : public net::Channel {
   /// been acknowledged, or the timeout expires.
   Status flush(std::chrono::milliseconds timeout);
 
+  /// Transport-level flush/readiness (net::Channel overrides): forwarded
+  /// to the inner transport. Distinct from the ack-flush above.
+  Status flush() override;
+  int readable_fd() override;
+
   /// Channels whose in-flight frames must land before this channel sends
   /// (the CLOCK -> {DATA, INT} coupling; see header comment).
   void set_flush_siblings(std::vector<ReliableChannel*> siblings);

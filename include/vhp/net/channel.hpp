@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "vhp/common/bytes.hpp"
 #include "vhp/common/status.hpp"
@@ -38,6 +39,28 @@ class Channel {
   /// Closes this endpoint; pending and future receives on the peer fail
   /// with kAborted once drained.
   virtual void close() = 0;
+
+  /// Sends many frames as one transport operation where the transport
+  /// supports it (writev on TCP, one doorbell on shm). Frame boundaries
+  /// are preserved; the byte stream is identical to N individual send()
+  /// calls. Default: loop over send().
+  virtual Status send_many(std::span<const Bytes> frames) {
+    for (const auto& f : frames) {
+      if (auto s = send(f); !s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  /// Pushes any frames the channel (or a batching decorator) is holding
+  /// toward the peer. No-op for unbuffered transports. Decorators forward.
+  virtual Status flush() { return Status::Ok(); }
+
+  /// A pollable fd that becomes readable when a frame may be pending, or
+  /// -1 when the transport has none (callers must then poll try_recv()).
+  /// Calling this may arm a doorbell: in-process queues lazily create an
+  /// eventfd the first time an event loop asks. Readiness is advisory —
+  /// level-triggered and possibly stale; always confirm with try_recv().
+  virtual int readable_fd() { return -1; }
 };
 
 using ChannelPtr = std::unique_ptr<Channel>;

@@ -89,6 +89,17 @@ class Kernel {
   /// non-idle thread has exited, if `until_quiescent`).
   void run(bool until_quiescent = false);
 
+  /// Cooperative stepping (the svc session server's hosting mode): runs
+  /// the scheduler until the board is *starved* — frozen (or truly idle)
+  /// with an idle poll reporting no external progress — or shut down.
+  /// Fibers stay parked across calls; the caller re-invokes when new
+  /// input arrives (readiness callback). Returns false once shut down.
+  bool run_until_starved();
+
+  /// True while inside run_until_starved() — lets the idle poll skip
+  /// host-level pacing (sleeping would stall every session on the loop).
+  [[nodiscard]] bool stepping() const { return step_mode_; }
+
   /// Requests run() to return at the next safe point. Callable from thread
   /// context or externally before run().
   void shutdown();
@@ -161,8 +172,12 @@ class Kernel {
   }
 
   /// Invoked by the idle thread when it has nothing to do: the board module
-  /// polls its channels here. Runs in idle-thread context.
-  void set_idle_poll(std::function<void()> poll) { idle_poll_ = std::move(poll); }
+  /// polls its channels here and returns whether anything arrived. Runs in
+  /// idle-thread context; a false return while frozen is the "starved"
+  /// signal that ends run_until_starved().
+  void set_idle_poll(std::function<bool()> poll) {
+    idle_poll_ = std::move(poll);
+  }
 
   /// Observes every OS state transition (paper Figures 3/4): called with
   /// the new state and the tick at which the switch happened.
@@ -262,7 +277,7 @@ class Kernel {
   OsState state_ = OsState::kNormal;
   u64 budget_cycles_ = 0;
   std::function<void(SwTicks)> freeze_cb_;
-  std::function<void()> idle_poll_;
+  std::function<bool()> idle_poll_;
   std::function<void(OsState, SwTicks)> state_trace_;
   std::function<void(const Thread&)> switch_trace_;
   WaitQueue budget_wait_{*this};
@@ -273,6 +288,10 @@ class Kernel {
   bool shutdown_ = false;
   bool need_resched_ = false;
   bool in_run_loop_ = false;
+  /// Cooperative stepping (run_until_starved): the loop exits when the
+  /// core-0 idle poll reports no progress while nothing can advance.
+  bool step_mode_ = false;
+  bool starved_ = false;
   /// Next wall-clock tick deadline in real-time pacing mode.
   std::chrono::steady_clock::time_point rt_next_tick_{};
 

@@ -99,4 +99,21 @@ echo "==== [mem] bench gate ===="
 cmake --build --preset default -j "$jobs" --target mem_contention
 ./build/bench/mem_contention --gate --quick --json /tmp/mem_contention_gate.metrics.json
 
+# Session-server gate (ISSUE 10), same shape: the shm-ring / batching /
+# event-loop units plus the hosted-session parity suite on the release
+# build (-L svc matches "svc" and "svc-tsan"), the fiber-free half again
+# under ThreadSanitizer, and the session_density bench in --gate mode:
+# 256 shm+batched sessions on one event-loop thread must complete at
+# µs-level per-session quantum overhead, and board-side DATA batching on
+# the sharded-router-with-telemetry workload must coalesce >= 4 frames
+# per flush. The bench auto-skips its verdict on hosts with < 4 cores.
+echo "==== [svc] release gate ===="
+ctest --preset default -L svc "$@"
+echo "==== [svc] tsan gate ===="
+ctest --preset tsan -L svc-tsan "$@"
+echo "==== [svc] bench gate ===="
+cmake --build --preset default -j "$jobs" --target session_density
+# No --quick: the gated rows are the 256-session ones.
+./build/bench/session_density --gate --json /tmp/session_density_gate.metrics.json
+
 echo "All presets passed."

@@ -105,12 +105,18 @@ Board::Board(BoardConfig config, net::CosimLink link, obs::Hub* hub)
                      round_cycle_});
       ack_tx_ns_ = now;
     }
+    // Batching flush rule (DESIGN.md §14): every DATA frame of this
+    // quantum must cross before the TIME_ACK — the master acts on the
+    // quantum's traffic at the barrier. No-op on unbatched links.
+    if (Status fs = link_.data->flush(); !fs.ok()) {
+      log_.warn("DATA flush before TIME_ACK failed: {}", fs.to_string());
+    }
     Status s = net::send_msg(*link_.clock, ack);
     if (!s.ok()) log_.warn("TIME_ACK send failed: {}", s.to_string());
   });
 
   // Idle: keep the sockets alive (the paper's idle-state duty).
-  kernel_.set_idle_poll([this] { idle_poll(); });
+  kernel_.set_idle_poll([this] { return idle_poll(); });
 
   // Observability extras — only when the costly instruments are on.
   if (hub_->enabled()) {
@@ -141,16 +147,21 @@ Board::Board(BoardConfig config, net::CosimLink link, obs::Hub* hub)
 
 Board::~Board() { link_.close_all(); }
 
-void Board::idle_poll() {
+bool Board::idle_poll() {
   bool any = false;
   any |= data_rx_->poll();
   any |= int_rx_->poll();
   any |= clock_rx_->poll();
+  // Cooperative stepping must never sleep the host thread: it is the
+  // event loop's thread, shared by every session. The pacer only applies
+  // to a board that owns its host thread.
+  if (kernel_.stepping()) return any;
   if (any) {
     pacer_.reset();
   } else {
     pacer_.pause();
   }
+  return any;
 }
 
 Result<Bytes> Board::dev_read(u32 addr, u32 nbytes) {
@@ -160,6 +171,9 @@ Result<Bytes> Board::dev_read(u32 addr, u32 nbytes) {
   const u64 read_start = tracer.enabled() ? tracer.now_ns() : 0;
   if (config_.dev_read_cost > 0) kernel_.consume(config_.dev_read_cost);
   Status s = net::send_msg(*link_.data, net::DataReadReq{addr, nbytes});
+  // The request must reach the master now — this thread is about to block
+  // on the response (flush is a no-op on unbatched links).
+  if (s.ok()) s = link_.data->flush();
   if (!s.ok()) return s;
   for (;;) {
     auto frame = data_rx_->recv();
@@ -292,8 +306,8 @@ void Board::channel_thread_body() {
   }
 }
 
-void Board::run() {
-  assert(!booted_ && "Board::run() called twice");
+void Board::boot() {
+  if (booted_) return;
   booted_ = true;
   auto& sysc = kernel_.spawn("systemc", config_.comm_priority,
                              [this] { systemc_thread_body(); });
@@ -302,9 +316,36 @@ void Board::run() {
                              [this] { channel_thread_body(); });
   chan.set_comm_thread(true);
   log_.debug("board booted (budget_mode={})", kernel_.budget_mode());
+}
+
+void Board::run() {
+  assert(!booted_ && "Board::run() called twice");
+  boot();
   kernel_.run();
   log_.debug("board halted at tick {} after {} context switches",
              kernel_.tick_count().value(), kernel_.stats().context_switches);
+}
+
+Board::PumpStatus Board::pump() {
+  assert(booted_ && "pump() before boot()");
+  if (kernel_.run_until_starved()) return PumpStatus::kLive;
+  if (!halt_logged_) {
+    halt_logged_ = true;
+    log_.debug("board halted at tick {} after {} context switches",
+               kernel_.tick_count().value(), kernel_.stats().context_switches);
+  }
+  return PumpStatus::kDone;
+}
+
+std::vector<int> Board::readable_fds() {
+  std::vector<int> fds;
+  for (net::Channel* ch : {link_.data.get(), link_.intr.get(),
+                           link_.clock.get()}) {
+    if (ch == nullptr) continue;
+    const int fd = ch->readable_fd();
+    if (fd >= 0) fds.push_back(fd);
+  }
+  return fds;
 }
 
 BoardHost::BoardHost(BoardConfig config, net::CosimLink link, obs::Hub* hub)

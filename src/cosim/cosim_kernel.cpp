@@ -146,7 +146,14 @@ Status CosimKernel::handle_data_msg(const net::Message& msg) {
                              "address");
     }
   }
-  return serve_data_message(registry_, *link_.data, msg);
+  Status s = serve_data_message(registry_, *link_.data, msg);
+  if (s.ok() && std::holds_alternative<net::DataReadReq>(msg)) {
+    // The board thread is blocked on this response mid-quantum; a batched
+    // DATA channel must not hold it to the next CLOCK boundary (no-op on
+    // unbatched links).
+    s = link_.data->flush();
+  }
+  return s;
 }
 
 Status CosimKernel::sample_interrupts() {
@@ -166,10 +173,10 @@ Status CosimKernel::sample_interrupts() {
   return Status::Ok();
 }
 
-Status CosimKernel::sync_with_board() {
+Status CosimKernel::send_tick() {
   syncs_.inc();
   obs::Tracer& tracer = hub_->tracer();
-  const u64 span_start = tracer.enabled() ? tracer.now_ns() : 0;
+  sync_span_start_ = tracer.enabled() ? tracer.now_ns() : 0;
   // The grant is the cycles elapsed since the previous tick — in fixed mode
   // always the quantum, in adaptive mode whatever the last lookahead earned.
   const u64 elapsed = cycle_ - last_granted_;
@@ -180,40 +187,55 @@ Status CosimKernel::sync_with_board() {
   const bool timed_spans = timeline.enabled();
   net::ClockTick tick{cycle_, static_cast<u32>(elapsed)};
   if (timed_spans) tick.round = ++round_;
+  // Batching flush rule (DESIGN.md §14): this quantum's DATA and INT
+  // frames must cross before the grant they belong to (no-op on unbatched
+  // links).
+  if (Status s = link_.data->flush(); !s.ok()) return s;
+  if (Status s = link_.intr->flush(); !s.ok()) return s;
   Status s = net::send_msg(*link_.clock, tick);
   if (!s.ok()) return s;
-  const u64 tick_sent_ns = timed_spans ? timeline.now_ns() : 0;
+  tick_sent_ns_ = timed_spans ? timeline.now_ns() : 0;
   last_granted_ = cycle_;
+  return Status::Ok();
+}
+
+Status CosimKernel::accept_ack(const net::Message& msg) {
+  const auto* time_ack = std::get_if<net::TimeAck>(&msg);
+  if (time_ack == nullptr) {
+    return Status{StatusCode::kInternal,
+                  strformat("expected TIME_ACK, got {}",
+                            net::to_string(net::type_of(msg)))};
+  }
+  acks_received_.inc();
+  note_ack(*time_ack);
+  next_sync_ = cycle_ + policy_.grant(0, cycle_, board_lookahead_);
+  obs::Timeline& timeline = hub_->timeline();
+  if (timeline.enabled()) {
+    const u64 now = timeline.now_ns();
+    spans_.record({round_, 0, obs::SpanPhase::kNodeWait, tick_sent_ns_,
+                   now, cycle_});
+    spans_.record({round_, 0, obs::SpanPhase::kBarrier, tick_sent_ns_,
+                   now, cycle_});
+  }
+  obs::Tracer& tracer = hub_->tracer();
+  if (tracer.enabled()) {
+    const u64 span_end = tracer.now_ns();
+    sync_rtt_ns_.record_ns(span_end - sync_span_start_);
+    tracer.complete("cosim.sync", "cosim", sync_span_start_, span_end,
+                    cycle_, "cycle");
+  }
+  return Status::Ok();
+}
+
+Status CosimKernel::sync_with_board() {
+  Status s = send_tick();
+  if (!s.ok()) return s;
   // Wait for the ack; keep the DATA port alive so a board thread blocked on
   // a device read mid-quantum still gets its response (deadlock freedom).
   for (;;) {
     auto ack = net::try_recv_msg(*link_.clock);
     if (!ack.ok()) return ack.status();
-    if (ack.value().has_value()) {
-      const auto* time_ack = std::get_if<net::TimeAck>(&*ack.value());
-      if (time_ack == nullptr) {
-        return Status{StatusCode::kInternal,
-                      strformat("expected TIME_ACK, got {}",
-                                net::to_string(net::type_of(*ack.value())))};
-      }
-      acks_received_.inc();
-      note_ack(*time_ack);
-      next_sync_ = cycle_ + policy_.grant(0, cycle_, board_lookahead_);
-      if (timed_spans) {
-        const u64 now = timeline.now_ns();
-        spans_.record({round_, 0, obs::SpanPhase::kNodeWait, tick_sent_ns,
-                       now, cycle_});
-        spans_.record({round_, 0, obs::SpanPhase::kBarrier, tick_sent_ns,
-                       now, cycle_});
-      }
-      if (tracer.enabled()) {
-        const u64 span_end = tracer.now_ns();
-        sync_rtt_ns_.record_ns(span_end - span_start);
-        tracer.complete("cosim.sync", "cosim", span_start, span_end, cycle_,
-                        "cycle");
-      }
-      return Status::Ok();
-    }
+    if (ack.value().has_value()) return accept_ack(*ack.value());
     Status data = service_data_port();
     if (!data.ok()) return data;
     std::this_thread::yield();
@@ -252,9 +274,93 @@ Status CosimKernel::run_cycles(u64 cycles) {
   return Status::Ok();
 }
 
+Status CosimKernel::pump(u64 max_cycles, u64* ran, bool* blocked) {
+  *ran = 0;
+  *blocked = false;
+  if (!config_status_.ok()) return config_status_;
+  if (config_.timed && !handshaken_) {
+    // Non-blocking handshake: the board's initial freeze ack may not have
+    // crossed the link yet.
+    auto msg = net::try_recv_msg(*link_.clock);
+    if (!msg.ok()) return msg.status();
+    if (!msg.value().has_value()) {
+      *blocked = true;
+      return Status::Ok();
+    }
+    const auto* ack = std::get_if<net::TimeAck>(&*msg.value());
+    if (ack == nullptr) {
+      return Status{StatusCode::kInternal,
+                    strformat("expected initial TIME_ACK, got {}",
+                              net::to_string(net::type_of(*msg.value())))};
+    }
+    note_ack(*ack);
+    next_sync_ = std::max<u64>(1, policy_.grant(0, 0, board_lookahead_));
+    handshaken_ = true;
+    log_.debug("handshake complete, board frozen at tick {}", ack->board_tick);
+  }
+  obs::StallProfiler& profiler = hub_->profiler();
+  using Bucket = obs::StallProfiler::Bucket;
+  for (;;) {
+    if (awaiting_ack_) {
+      // A board thread blocked mid-quantum on a device read still gets its
+      // response while we wait (same deadlock-freedom rule as the blocking
+      // path).
+      Status data = service_data_port();
+      if (!data.ok()) return data;
+      auto ack = net::try_recv_msg(*link_.clock);
+      if (!ack.ok()) return ack.status();
+      if (!ack.value().has_value()) {
+        *blocked = true;
+        return Status::Ok();
+      }
+      Status s = accept_ack(*ack.value());
+      if (!s.ok()) return s;
+      awaiting_ack_ = false;
+    }
+    // The trailing-ack check sits above this exit so pump(N) leaves the
+    // same protocol state as run_cycles(N): no outstanding tick.
+    if (*ran >= max_cycles) return Status::Ok();
+    Status s = Status::Ok();
+    if (config_.data_poll_interval <= 1 ||
+        cycle_ % config_.data_poll_interval == 0) {
+      obs::StallProfiler::Timer timer(profiler, Bucket::kDataService);
+      s = service_data_port();
+      if (!s.ok()) return s;
+    }
+    {
+      obs::StallProfiler::Timer timer(profiler, Bucket::kSimulate);
+      kernel_.run(config_.clock_period);  // one posedge + negedge
+    }
+    ++cycle_;
+    ++*ran;
+    s = sample_interrupts();
+    if (!s.ok()) return s;
+    if (config_.timed && cycle_ == next_sync_) {
+      s = send_tick();
+      if (!s.ok()) return s;
+      awaiting_ack_ = true;
+    }
+  }
+}
+
+std::vector<int> CosimKernel::readable_fds() {
+  std::vector<int> fds;
+  for (net::Channel* ch :
+       {link_.data.get(), link_.intr.get(), link_.clock.get()}) {
+    if (ch == nullptr) continue;
+    const int fd = ch->readable_fd();
+    if (fd >= 0) fds.push_back(fd);
+  }
+  return fds;
+}
+
 void CosimKernel::finish() {
   if (finished_) return;
   finished_ = true;
+  // Push out anything a batched link still holds — the board may need the
+  // last DATA/INT frames to make progress before it can see the SHUTDOWN.
+  if (link_.data) (void)link_.data->flush();
+  if (link_.intr) (void)link_.intr->flush();
   if (config_.shutdown_on_finish && link_.clock) {
     (void)net::send_msg(*link_.clock, net::Shutdown{});
   }

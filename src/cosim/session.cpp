@@ -11,6 +11,7 @@
 #include "vhp/fault/inject.hpp"
 #include "vhp/net/inproc.hpp"
 #include "vhp/net/instrumented.hpp"
+#include "vhp/net/shm_ring.hpp"
 #include "vhp/net/latency.hpp"
 #include "vhp/net/tcp.hpp"
 #include "vhp/obs/recording.hpp"
@@ -88,6 +89,18 @@ Status SessionConfig::validate() const {
                   "SessionConfig: the fault plan can lose or mutate frames; "
                   "enable the recovery layer (recovery.enabled)"};
   }
+  if (batch_frames && !cosim.timed) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SessionConfig: batch_frames requires timed mode — a "
+                  "free-running board has no quantum boundary to flush at"};
+  }
+  if (batch_frames && recovery.enabled) {
+    return Status{StatusCode::kInvalidArgument,
+                  "SessionConfig: batch_frames is incompatible with the "
+                  "recovery layer — retransmission acks would sit in the "
+                  "peer's batch buffer until its next flush point, so the "
+                  "recovery flush would spin against held acks"};
+  }
   return Status::Ok();
 }
 
@@ -110,6 +123,8 @@ CosimSession::CosimSession(SessionConfig config) : config_(std::move(config)) {
   net::LinkPair pair;
   if (config_.transport == TransportKind::kInProc) {
     pair = net::make_inproc_link_pair();
+  } else if (config_.transport == TransportKind::kShm) {
+    pair = net::make_shm_link_pair();
   } else {
     net::TcpLinkListener listener;
     const auto ports = listener.ports();
@@ -129,6 +144,15 @@ CosimSession::CosimSession(SessionConfig config) : config_(std::move(config)) {
     }
     pair.hw = std::move(hw_link).value();
     pair.board = std::move(board_link).value();
+  }
+  // Batching wraps the raw transport innermost (below latency / fault /
+  // recording), so every layer above sees the unbatched frame sequence
+  // and the recording oracle holds.
+  if (config_.batch_frames) {
+    pair.hw = net::batch_link(std::move(pair.hw), true, config_.batching,
+                              hub_.get(), "hw");
+    pair.board = net::batch_link(std::move(pair.board), true,
+                                 config_.batching, hub_.get(), "board");
   }
   pair = net::emulate_latency(std::move(pair), config_.link_emulation);
   // Canonical decorator stack (innermost first): transport -> latency ->

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <future>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "vhp/fault/inject.hpp"
 #include "vhp/net/fanout.hpp"
 #include "vhp/net/instrumented.hpp"
+#include "vhp/net/shm_ring.hpp"
 #include "vhp/obs/recording.hpp"
 
 namespace vhp::fabric {
@@ -64,6 +66,12 @@ Status FabricConfig::validate() const {
     return Status{StatusCode::kInvalidArgument,
                   "FabricConfig: the fault plan can lose or mutate frames; "
                   "enable the recovery layer (recovery.enabled)"};
+  }
+  if (batch_frames && recovery.enabled) {
+    return Status{StatusCode::kInvalidArgument,
+                  "FabricConfig: batch_frames is incompatible with the "
+                  "recovery layer — retransmission acks would sit in the "
+                  "peer's batch buffer until its next flush point"};
   }
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const FabricNodeConfig& node = nodes[i];
@@ -166,6 +174,8 @@ Fabric::Fabric(FabricConfig config)
   std::vector<net::LinkPair> links;
   if (config_.transport == Transport::kInProc) {
     links = net::make_inproc_link_fanout(n);
+  } else if (config_.transport == Transport::kShm) {
+    links = net::make_shm_link_fanout(n);
   } else {
     auto fanout = net::make_tcp_link_fanout(n);
     if (!fanout.ok()) {
@@ -192,6 +202,15 @@ Fabric::Fabric(FabricConfig config)
 
     net::CosimLink hw_side = std::move(links[i].hw);
     net::CosimLink board_side = std::move(links[i].board);
+    // Batching wraps the raw transport innermost, so every decorator above
+    // sees the unbatched frame sequence (recording parity holds).
+    if (config_.batch_frames) {
+      hw_side = net::batch_link(std::move(hw_side), true, config_.batching,
+                                hub_.get(), "hw." + name);
+      board_side = net::batch_link(std::move(board_side), true,
+                                   config_.batching, node->hub.get(),
+                                   "board");
+    }
     // Canonical decorator stack (innermost first): transport -> inject
     // (hw side only) -> reliable (both sides) -> instrument -> record.
     // The recorder sits above the recovery layer, so it only ever sees
@@ -240,10 +259,19 @@ Fabric::Fabric(FabricConfig config)
       // board-side lookahead is conservative by construction, so opting the
       // boards in wholesale is always correct.
       if (policy.is_adaptive()) board_config.advertise_lookahead = true;
-      node->host = std::make_unique<board::BoardHost>(
-          board_config, std::move(board_side), node->hub.get());
+      if (config_.event_loop) {
+        // Constructed here (so apps/DSRs configure before start_boards),
+        // booted and pumped exclusively on the loop thread — the same
+        // construct-here/run-there split BoardHost uses.
+        node->loop_board = std::make_unique<board::Board>(
+            board_config, std::move(board_side), node->hub.get());
+      } else {
+        node->host = std::make_unique<board::BoardHost>(
+            board_config, std::move(board_side), node->hub.get());
+      }
       node->hub->board_recorder().set_board_time_source(
-          [board = &node->host->board()] {
+          [board = node->host ? &node->host->board()
+                              : node->loop_board.get()] {
             return board->kernel().tick_count().value();
           });
     }
@@ -263,6 +291,14 @@ Fabric::Fabric(FabricConfig config)
   }
   coordinator_ = std::make_unique<SyncCoordinator>(
       policy, std::move(clocks), std::move(names), hub_.get());
+  // A parked gather must still notice a mid-quantum DataReadReq promptly:
+  // hand the coordinator every DATA doorbell as an extra wake source.
+  std::vector<int> wake_fds;
+  for (const auto& node : nodes_) {
+    const int fd = node->hw_link.data->readable_fd();
+    if (fd >= 0) wake_fds.push_back(fd);
+  }
+  coordinator_->set_wake_fds(std::move(wake_fds));
 }
 
 Fabric::~Fabric() { finish(); }
@@ -281,12 +317,11 @@ cosim::DriverRegistry& Fabric::registry(std::size_t node) {
 
 board::Board& Fabric::board(std::size_t node) {
   Node& n = node_at(node);
-  if (!n.host) {
-    throw std::logic_error(
-        strformat("fabric: node {} ({}) is external, it has no board", node,
-                  n.config.name));
-  }
-  return n.host->board();
+  if (n.host) return n.host->board();
+  if (n.loop_board) return *n.loop_board;
+  throw std::logic_error(
+      strformat("fabric: node {} ({}) is external, it has no board", node,
+                n.config.name));
 }
 
 net::CosimLink Fabric::take_board_link(std::size_t node) {
@@ -318,6 +353,34 @@ void Fabric::start_boards() {
   for (auto& node : nodes_) {
     if (node->host) node->host->start();
   }
+  if (!config_.event_loop) return;
+  // Event-loop mode: one thread pumps every board. Boot and all pumping
+  // happen on that thread (fibers are not migratable); each board's
+  // transport doorbells wake exactly that board, and a coarse fallback
+  // timer covers anything without an fd.
+  loop_ = std::make_unique<svc::EventLoop>(hub_.get());
+  for (auto& node : nodes_) {
+    board::Board* b = node->loop_board.get();
+    if (b == nullptr) continue;
+    loop_->post([this, b] {
+      b->boot();
+      (void)b->pump();  // first pump sends the initial freeze ack
+      for (int fd : b->readable_fds()) {
+        Status s = loop_->watch(fd, [b] { (void)b->pump(); });
+        if (!s.ok()) log_.warn("watch({}) failed: {}", fd, s.to_string());
+      }
+    });
+  }
+  // One-shot chain (schedule() has no periodic mode): the tick lives in
+  // the fabric and re-schedules a copy of itself — no ownership cycle.
+  loop_tick_ = [this] {
+    for (auto& node : nodes_) {
+      if (node->loop_board) (void)node->loop_board->pump();
+    }
+    (void)loop_->schedule(std::chrono::milliseconds{1}, loop_tick_);
+  };
+  (void)loop_->schedule(std::chrono::milliseconds{1}, loop_tick_);
+  loop_thread_ = std::thread([this] { loop_->run(); });
 }
 
 Status Fabric::handshake() {
@@ -347,10 +410,29 @@ Status Fabric::service_data_ports() {
       }
       Status s = cosim::serve_data_message(*node->registry,
                                            *node->hw_link.data, *msg.value());
+      if (s.ok() && std::holds_alternative<net::DataReadReq>(*msg.value())) {
+        // A board thread is blocked mid-quantum on this response; a
+        // batched DATA channel must not hold it to the barrier boundary.
+        s = node->hw_link.data->flush();
+      }
       if (!s.ok()) {
         return Status{s.code(), strformat("fabric: node {}: {}",
                                           node->config.name, s.message())};
       }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Fabric::flush_node_links() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = nodes_[i];
+    if (!coordinator_->alive(i)) continue;
+    Status s = node->hw_link.data->flush();
+    if (s.ok()) s = node->hw_link.intr->flush();
+    if (!s.ok()) {
+      return Status{s.code(), strformat("fabric: flush to {} failed: {}",
+                                        node->config.name, s.message())};
     }
   }
   return Status::Ok();
@@ -392,6 +474,10 @@ Status Fabric::run_cycles(u64 cycles) {
     s = sample_interrupts();
     if (!s.ok()) return s;
     if (coordinator_->due(cycle_)) {
+      // Batching flush rule: the quantum's DATA/INT frames cross before
+      // the barrier's CLOCK_TICKs (no-op on unbatched links).
+      s = flush_node_links();
+      if (!s.ok()) return s;
       s = coordinator_->run_barrier(
           cycle_, [this] { return service_data_ports(); });
       if (!s.ok()) return s;
@@ -406,6 +492,11 @@ void Fabric::finish() {
   // The telemetry provider reaches back into this Fabric; stop it before
   // anything it reads starts tearing down.
   hub_->stop_telemetry();
+  // Push out anything a batched link still holds before the SHUTDOWNs.
+  for (auto& node : nodes_) {
+    if (node->hw_link.data) (void)node->hw_link.data->flush();
+    if (node->hw_link.intr) (void)node->hw_link.intr->flush();
+  }
   if (config_.shutdown_on_finish) coordinator_->shutdown();
   // An evicted node's board thread may still be blocked on its CLOCK
   // channel: try a best-effort SHUTDOWN, then close our side so the peer
@@ -420,6 +511,20 @@ void Fabric::finish() {
   }
   for (auto& node : nodes_) {
     if (node->host) node->host->join();
+  }
+  if (loop_) {
+    // Let every loop-hosted board consume its SHUTDOWN (one pump suffices:
+    // the frame is already in its clock queue), then stop the loop.
+    std::promise<void> drained;
+    loop_->post([this, &drained] {
+      for (auto& node : nodes_) {
+        if (node->loop_board) (void)node->loop_board->pump();
+      }
+      drained.set_value();
+    });
+    (void)drained.get_future().wait_for(std::chrono::seconds{5});
+    loop_->stop();
+    if (loop_thread_.joinable()) loop_thread_.join();
   }
 }
 

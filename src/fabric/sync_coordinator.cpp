@@ -1,5 +1,7 @@
 #include "vhp/fabric/sync_coordinator.hpp"
 
+#include <poll.h>
+
 #include <algorithm>
 #include <thread>
 
@@ -286,6 +288,14 @@ Status SyncCoordinator::gather(std::vector<std::size_t> pending,
   auto deadline = config_.watchdog.count() > 0
                       ? wait_start + config_.watchdog
                       : std::chrono::steady_clock::time_point::max();
+  // Bounded spin-then-wait: a short yield phase keeps the hot path (acks
+  // arriving within microseconds) syscall-free, then the gather parks on
+  // the stragglers' CLOCK doorbells (plus any set_wake_fds extras) instead
+  // of burning a core for the rest of the quantum. The park is capped at
+  // 1ms so the watchdog and the service callback keep their cadence even
+  // against an fd-less transport.
+  constexpr u32 kSpinRounds = 256;
+  u32 idle_rounds = 0;
   while (!pending.empty()) {
     bool progressed = false;
     for (std::size_t p = 0; p < pending.size();) {
@@ -372,7 +382,32 @@ Status SyncCoordinator::gather(std::vector<std::size_t> pending,
                     "ms) waiting for TIME_ACK from {}",
                     waited.count(), config_.watchdog.count(), stragglers)};
     }
-    if (!progressed) std::this_thread::yield();
+    if (progressed) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds < kSpinRounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::vector<pollfd> fds;
+    fds.reserve(pending.size() + wake_fds_.size());
+    for (std::size_t index : pending) {
+      const int fd = nodes_[index].clock->readable_fd();
+      if (fd >= 0) fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    for (int fd : wake_fds_) fds.push_back(pollfd{fd, POLLIN, 0});
+    auto cap = std::chrono::milliseconds{1};
+    if (deadline != std::chrono::steady_clock::time_point::max()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      cap = std::clamp(left, std::chrono::milliseconds{0}, cap);
+    }
+    if (!fds.empty()) {
+      (void)::poll(fds.data(), fds.size(), static_cast<int>(cap.count()));
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds{50});
+    }
   }
   return Status::Ok();
 }

@@ -115,6 +115,10 @@ class FaultChannel final : public net::Channel {
     inner_->close();
   }
 
+  Status flush() override { return inner_->flush(); }
+
+  int readable_fd() override { return inner_->readable_fd(); }
+
  private:
   /// Applies a TX verdict; sends 0, 1 or 2 copies of `frame` downstream.
   Status apply_tx(const std::optional<FaultEvent>& event,

@@ -450,6 +450,16 @@ void ReliableChannel::close() {
   impl_->inner->close();
 }
 
+Status ReliableChannel::flush() {
+  std::scoped_lock lock(impl_->mu);
+  return impl_->inner->flush();
+}
+
+int ReliableChannel::readable_fd() {
+  std::scoped_lock lock(impl_->mu);
+  return impl_->inner->readable_fd();
+}
+
 Status ReliableChannel::flush(milliseconds timeout) {
   const auto deadline = steady_clock::now() + timeout;
   std::vector<ReliableChannel*> peers;

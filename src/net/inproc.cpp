@@ -1,5 +1,9 @@
 #include "vhp/net/inproc.hpp"
 
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -8,15 +12,29 @@ namespace vhp::net {
 namespace {
 
 /// One direction of the in-process pipe: a bounded deque of frames.
+///
+/// Doorbell: an event loop that wants fd-readiness instead of condvar
+/// blocking calls readable_fd(), which lazily creates an eventfd. From
+/// then on every push rings it (push is already a lock + notify; one more
+/// write(2) only happens in event-loop mode). The bell is drained under
+/// the queue mutex whenever the queue is observed empty, so "bell
+/// readable" is level-equivalent to "a frame may be pending" with no
+/// missed-wakeup window: a push either happens before the empty check
+/// (the frame is seen) or after (it re-rings the drained bell).
 class FrameQueue {
  public:
   explicit FrameQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  ~FrameQueue() {
+    if (doorbell_ >= 0) ::close(doorbell_);
+  }
 
   Status push(Bytes frame) {
     std::unique_lock lock(mu_);
     not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
     if (closed_) return Status{StatusCode::kAborted, "channel closed"};
     queue_.push_back(std::move(frame));
+    ring_doorbell();
     not_empty_.notify_one();
     return Status::Ok();
   }
@@ -33,10 +51,12 @@ class FrameQueue {
     }
     if (queue_.empty()) {
       // closed_ and drained
+      drain_doorbell();
       return Status{StatusCode::kAborted, "channel closed"};
     }
     Bytes frame = std::move(queue_.front());
     queue_.pop_front();
+    if (queue_.empty()) drain_doorbell();
     not_full_.notify_one();
     return frame;
   }
@@ -45,10 +65,12 @@ class FrameQueue {
     std::scoped_lock lock(mu_);
     if (queue_.empty()) {
       if (closed_) return Status{StatusCode::kAborted, "channel closed"};
+      drain_doorbell();
       return std::optional<Bytes>{};
     }
     Bytes frame = std::move(queue_.front());
     queue_.pop_front();
+    if (queue_.empty()) drain_doorbell();
     not_full_.notify_one();
     return std::optional<Bytes>{std::move(frame)};
   }
@@ -56,17 +78,42 @@ class FrameQueue {
   void close() {
     std::scoped_lock lock(mu_);
     closed_ = true;
+    ring_doorbell();  // wake a poller so it observes kAborted
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
+  /// Lazily creates the doorbell eventfd; rings it if frames are already
+  /// queued so a level-triggered poller doesn't sleep over them.
+  int readable_fd() {
+    std::scoped_lock lock(mu_);
+    if (doorbell_ < 0) {
+      doorbell_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (doorbell_ >= 0 && (!queue_.empty() || closed_)) ring_doorbell();
+    }
+    return doorbell_;
+  }
+
  private:
+  // Both run under mu_.
+  void ring_doorbell() {
+    if (doorbell_ < 0) return;
+    const u64 one = 1;
+    [[maybe_unused]] ssize_t n = ::write(doorbell_, &one, sizeof one);
+  }
+  void drain_doorbell() {
+    if (doorbell_ < 0 || closed_) return;  // keep it readable once closed
+    u64 value = 0;
+    [[maybe_unused]] ssize_t n = ::read(doorbell_, &value, sizeof value);
+  }
+
   std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Bytes> queue_;
   std::size_t capacity_;
   bool closed_ = false;
+  int doorbell_ = -1;
 };
 
 /// An endpoint owns a tx queue (shared with the peer's rx) and vice versa.
@@ -91,6 +138,8 @@ class InProcChannel final : public Channel {
     tx_->close();
     rx_->close();
   }
+
+  int readable_fd() override { return rx_->readable_fd(); }
 
  private:
   std::shared_ptr<FrameQueue> tx_;

@@ -53,6 +53,10 @@ class InstrumentedChannel final : public Channel {
 
   void close() override { inner_->close(); }
 
+  Status flush() override { return inner_->flush(); }
+
+  int readable_fd() override { return inner_->readable_fd(); }
+
  private:
   ChannelPtr inner_;
   obs::Tracer& tracer_;
@@ -97,6 +101,10 @@ class RecordedChannel final : public Channel {
   }
 
   void close() override { inner_->close(); }
+
+  Status flush() override { return inner_->flush(); }
+
+  int readable_fd() override { return inner_->readable_fd(); }
 
  private:
   ChannelPtr inner_;

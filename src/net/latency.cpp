@@ -61,6 +61,10 @@ class LatencyChannel final : public Channel {
 
   void close() override { inner_->close(); }
 
+  Status flush() override { return inner_->flush(); }
+
+  int readable_fd() override { return inner_->readable_fd(); }
+
  private:
   Result<std::pair<Bytes, Clock::time_point>> strip(Bytes wire) {
     ByteReader r{wire};

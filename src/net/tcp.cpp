@@ -3,10 +3,12 @@
 #include "vhp/net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -73,6 +75,69 @@ class TcpChannel final : public Channel {
     }
     return Status::Ok();
   }
+
+  // One writev per IOV_MAX/2 frames instead of one send() syscall per
+  // frame: each frame contributes two iovecs (its u32 length prefix and
+  // its payload), so the byte stream is identical to N send() calls and
+  // the receive path needs no changes.
+  Status send_many(std::span<const Bytes> frames) override {
+    if (frames.empty()) return Status::Ok();
+    // Prefixes must outlive the writev; one stable buffer for all of them.
+    std::vector<u32> prefixes(frames.size());
+    std::vector<iovec> iov;
+    iov.reserve(frames.size() * 2);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      u8* p = reinterpret_cast<u8*>(&prefixes[i]);
+      const u32 len = static_cast<u32>(frames[i].size());
+      p[0] = static_cast<u8>(len);
+      p[1] = static_cast<u8>(len >> 8);
+      p[2] = static_cast<u8>(len >> 16);
+      p[3] = static_cast<u8>(len >> 24);
+      iov.push_back(iovec{p, 4});
+      if (!frames[i].empty()) {
+        iov.push_back(
+            iovec{const_cast<u8*>(frames[i].data()), frames[i].size()});
+      }
+    }
+    std::scoped_lock lock(send_mu_);
+    std::size_t start = 0;
+    while (start < iov.size()) {
+      const std::size_t count = std::min<std::size_t>(
+          iov.size() - start, static_cast<std::size_t>(IOV_MAX));
+      msghdr msg{};
+      msg.msg_iov = iov.data() + start;
+      msg.msg_iovlen = count;
+      const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == ECONNRESET) {
+          return Status{StatusCode::kConnectionReset,
+                        "connection reset by peer"};
+        }
+        if (errno == EPIPE) {
+          return Status{StatusCode::kAborted, "peer closed"};
+        }
+        return errno_status(StatusCode::kUnavailable, "sendmsg");
+      }
+      // Consume written bytes off the front of the iovec window (a short
+      // write can stop mid-iovec).
+      std::size_t written = static_cast<std::size_t>(n);
+      while (written > 0 && start < iov.size()) {
+        if (written >= iov[start].iov_len) {
+          written -= iov[start].iov_len;
+          ++start;
+        } else {
+          iov[start].iov_base =
+              static_cast<u8*>(iov[start].iov_base) + written;
+          iov[start].iov_len -= written;
+          written = 0;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  int readable_fd() override { return fd_; }
 
   Result<Bytes> recv(std::optional<std::chrono::milliseconds> timeout) override {
     const auto deadline =
@@ -172,8 +237,11 @@ int make_listener(u16* port_out) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = 0;  // ephemeral
+  // Full backlog: a session-density connection burst (hundreds of
+  // near-simultaneous connects) must not see ECONNREFUSED because the
+  // queue was one deep.
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd, 1) != 0) {
+      ::listen(fd, SOMAXCONN) != 0) {
     ::close(fd);
     throw std::system_error(errno, std::generic_category(), "bind/listen");
   }
@@ -181,6 +249,24 @@ int make_listener(u16* port_out) {
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   *port_out = ntohs(addr.sin_port);
   return fd;
+}
+
+/// accept(2) with signal/transient-error tolerance: retries EINTR (a
+/// profiling signal mid-accept), EAGAIN (a connection that vanished
+/// between poll and accept) and ECONNABORTED (peer reset while queued)
+/// instead of failing the whole link setup.
+int accept_retry(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      (void)::poll(&pfd, 1, -1);
+      continue;
+    }
+    return -1;
+  }
 }
 
 }  // namespace
@@ -201,7 +287,7 @@ TcpLinkListener::~TcpLinkListener() {
 Result<CosimLink> TcpLinkListener::accept_link() {
   std::array<ChannelPtr, 3> chans;
   for (std::size_t i = 0; i < 3; ++i) {
-    const int fd = ::accept(listen_fds_[i], nullptr, nullptr);
+    const int fd = accept_retry(listen_fds_[i]);
     if (fd < 0) return errno_status(StatusCode::kUnavailable, "accept");
     chans[i] = std::make_unique<TcpChannel>(fd);
   }
@@ -223,12 +309,15 @@ Result<ChannelPtr> TcpListener::accept(
   const int wait_ms =
       timeout.has_value() ? static_cast<int>(timeout->count()) : -1;
   pollfd pfd{listen_fd_, POLLIN, 0};
-  const int rc = ::poll(&pfd, 1, wait_ms);
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, wait_ms);
+  } while (rc < 0 && errno == EINTR);
   if (rc < 0) return errno_status(StatusCode::kUnavailable, "poll");
   if (rc == 0) {
     return Status{StatusCode::kDeadlineExceeded, "no connection"};
   }
-  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  const int fd = accept_retry(listen_fd_);
   if (fd < 0) return errno_status(StatusCode::kUnavailable, "accept");
   return ChannelPtr{std::make_unique<TcpChannel>(fd)};
 }

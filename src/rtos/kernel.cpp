@@ -42,7 +42,7 @@ Thread& Kernel::spawn(std::string name, int priority, Thread::Entry entry,
 void Kernel::run(bool until_quiescent) {
   assert(current_ == nullptr && "run() re-entered from thread context");
   in_run_loop_ = true;
-  while (!shutdown_) {
+  while (!shutdown_ && !(step_mode_ && starved_)) {
     Thread* next = nullptr;
     if (config_.cores <= 1) {
       interrupts_.run_pending_dsrs();
@@ -86,6 +86,15 @@ void Kernel::run(bool until_quiescent) {
     current_ = nullptr;
   }
   in_run_loop_ = false;
+}
+
+bool Kernel::run_until_starved() {
+  if (shutdown_) return false;
+  step_mode_ = true;
+  starved_ = false;
+  run(false);
+  step_mode_ = false;
+  return !shutdown_;
 }
 
 void Kernel::shutdown() {
@@ -336,10 +345,14 @@ void Kernel::idle_loop(u32 core) {
     if (!advanced && core == 0) {
       // Frozen (or truly idle): poll the outside world, gently. Core 0
       // polls for the whole board; the other cores' idle threads just
-      // rotate through so the sweep doesn't spin on the host.
+      // rotate through so the sweep doesn't spin on the host. In
+      // cooperative stepping, a fruitless poll means nothing can advance
+      // until external input arrives — hand the host thread back.
       if (idle_poll_) {
-        idle_poll_();
+        const bool progressed = idle_poll_();
+        if (step_mode_ && !progressed) starved_ = true;
       } else {
+        if (step_mode_) starved_ = true;
         std::this_thread::yield();
       }
     }

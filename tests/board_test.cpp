@@ -20,7 +20,7 @@ TEST(ChannelWaiter, DeliversPolledFrames) {
   auto [hw, brd] = net::make_inproc_channel_pair();
   ChannelWaiter waiter{k, *brd, "test"};
   // The idle thread plays its board role: it polls the channel.
-  k.set_idle_poll([&] { waiter.poll(); });
+  k.set_idle_poll([&] { return waiter.poll(); });
   std::optional<Bytes> got;
   k.spawn("rx", 5, [&] { got = waiter.recv(); });
   k.spawn("tx_sim", 6, [&] {
